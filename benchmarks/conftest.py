@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one paper artifact (figure or
+quoted claim) or one ablation, reports its wall-clock cost through
+pytest-benchmark, prints the regenerated rows, and asserts the shape
+checks so a benchmark run doubles as a reproduction audit.
+"""
+
+import pytest
+
+from repro.experiments.testbed import default_testbed
+
+
+@pytest.fixture(scope="session")
+def bench_testbed():
+    """One calibrated testbed shared by all experiment benchmarks."""
+    return default_testbed(seed=2016)
+
+
+def report_and_assert(report):
+    """Print the regenerated artifact and enforce its shape checks."""
+    print()
+    report.print_report(max_rows=12)
+    failed = report.failed_checks
+    assert not failed, "failed shape checks:\n" + "\n".join(str(c) for c in failed)
+    return report

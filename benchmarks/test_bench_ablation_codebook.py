@@ -1,0 +1,10 @@
+"""Benchmark: codebook granularity ablation."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_ablation_codebook
+
+
+def test_bench_ablation_codebook(benchmark):
+    report = benchmark.pedantic(run_ablation_codebook, rounds=1, iterations=1)
+    report_and_assert(report)

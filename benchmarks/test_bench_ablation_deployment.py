@@ -1,0 +1,14 @@
+"""Benchmark: deployment ablation (mounting, count, carrier band)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_ablation_deployment
+
+
+def test_bench_ablation_deployment(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_ablation_deployment(num_poses=8, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

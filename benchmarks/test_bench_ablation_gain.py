@@ -1,0 +1,14 @@
+"""Benchmark: gain-policy ablation (adaptive vs static vs oracle)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_ablation_gain
+
+
+def test_bench_ablation_gain(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_ablation_gain(num_angle_pairs=40, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

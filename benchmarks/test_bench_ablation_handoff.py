@@ -1,0 +1,16 @@
+"""Benchmark: handoff-threshold ablation (glitch rate vs flapping)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_ablation_handoff
+from repro.experiments.testbed import default_testbed
+
+
+def test_bench_ablation_handoff(benchmark):
+    bed = default_testbed(seed=2016, shadowing_sigma_db=2.0)
+    report = benchmark.pedantic(
+        lambda: run_ablation_handoff(duration_s=10.0, seed=2016, testbed=bed),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

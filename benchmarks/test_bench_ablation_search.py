@@ -1,0 +1,14 @@
+"""Benchmark: beam-search strategy ablation (probes vs accuracy)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_ablation_search
+
+
+def test_bench_ablation_search(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_ablation_search(num_runs=10, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

@@ -1,0 +1,12 @@
+"""Benchmark: the two-room apartment boundary study."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_apartment
+
+
+def test_bench_apartment(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_apartment(seed=2016), rounds=1, iterations=1
+    )
+    report_and_assert(report)

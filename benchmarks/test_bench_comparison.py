@@ -1,0 +1,14 @@
+"""Benchmark: untethering approaches — coverage under blockage and cost."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_comparison
+
+
+def test_bench_comparison(benchmark, bench_testbed):
+    report = benchmark.pedantic(
+        lambda: run_comparison(num_runs=12, seed=2016, testbed=bench_testbed),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

@@ -1,0 +1,16 @@
+"""Benchmark: end-to-end VR session glitch rates (extension)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_e2e_session
+from repro.experiments.testbed import default_testbed
+
+
+def test_bench_e2e(benchmark):
+    bed = default_testbed(seed=2016, shadowing_sigma_db=0.0)
+    report = benchmark.pedantic(
+        lambda: run_e2e_session(duration_s=15.0, seed=2016, testbed=bed),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 3 (blockage impact on SNR and rate)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3(benchmark, bench_testbed):
+    report = benchmark.pedantic(
+        lambda: run_fig3(num_placements=20, seed=2016, testbed=bench_testbed),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

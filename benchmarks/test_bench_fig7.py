@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 7 (leakage vs beam angles)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_fig7
+
+
+def test_bench_fig7(benchmark):
+    report = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    report_and_assert(report)

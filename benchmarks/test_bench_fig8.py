@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 8 (beam alignment accuracy, 100 runs)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_fig8
+
+
+def test_bench_fig8(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig8(num_runs=100, seed=2016), rounds=1, iterations=1
+    )
+    report_and_assert(report)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 9 (SNR improvement CDF, 20 runs)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_fig9
+
+
+def test_bench_fig9(benchmark, bench_testbed):
+    report = benchmark.pedantic(
+        lambda: run_fig9(num_runs=20, seed=2016, testbed=bench_testbed),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

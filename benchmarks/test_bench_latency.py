@@ -1,0 +1,14 @@
+"""Benchmark: frame latency budget vs SNR under ARQ policies."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_latency_budget
+
+
+def test_bench_latency(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_latency_budget(frames_per_point=400, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

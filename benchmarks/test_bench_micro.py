@@ -1,0 +1,61 @@
+"""Microbenchmarks for the hot paths of the simulator.
+
+These time the primitives that dominate the figure regenerations —
+useful when optimizing and as a regression guard on simulation cost.
+"""
+
+import numpy as np
+
+from repro.core.angle_search import BackscatterAngleSearch
+from repro.core.reflector import MoVRReflector
+from repro.geometry.raytrace import RayTracer
+from repro.geometry.room import standard_office
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.link.budget import LinkBudget
+from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio
+from repro.phy.channel import MmWaveChannel
+from repro.phy.ofdm import measure_link_snr_db
+
+
+def test_bench_raytrace_all_paths(benchmark):
+    tracer = RayTracer(standard_office())
+    result = benchmark(
+        tracer.all_paths, Vec2(0.3, 0.3), Vec2(3.5, 3.5), 2
+    )
+    assert len(result) >= 5
+
+
+def test_bench_link_measure(benchmark):
+    room = standard_office()
+    budget = LinkBudget(RayTracer(room), MmWaveChannel())
+    tx = Radio(Vec2(0.3, 0.3), boresight_deg=45.0)
+    rx = Radio(Vec2(3.5, 3.5), boresight_deg=-135.0)
+    result = benchmark(budget.measure, tx, rx, 45.0, -135.0)
+    assert result.snr_db > 0.0
+
+
+def test_bench_ofdm_snr_measurement(benchmark):
+    result = benchmark(
+        measure_link_snr_db, 20.0, 0.0, 0.0, None, 7
+    )
+    assert 15.0 < result < 25.0
+
+
+def test_bench_leakage_eval(benchmark):
+    reflector = MoVRReflector(Vec2(4.7, 4.7), boresight_deg=-135.0)
+    reflector.point_at(Vec2(0.3, 0.3), Vec2(2.5, 2.5))
+    result = benchmark(reflector.leakage_db)
+    assert -85.0 < result < -45.0
+
+
+def test_bench_fast_angle_sweep(benchmark):
+    room = standard_office(furnished=False)
+    tracer = RayTracer(room)
+    ap = Radio(Vec2(0.3, 0.3), boresight_deg=45.0, config=DEFAULT_RADIO_CONFIG)
+    position = Vec2(4.0, 4.2)
+    reflector = MoVRReflector(
+        position, boresight_deg=bearing_deg(position, ap.position)
+    )
+    search = BackscatterAngleSearch(ap, reflector, tracer, MmWaveChannel(), rng=1)
+    result = benchmark(search.estimate_incidence_angle_fast)
+    assert result.reflector_error_deg <= 2.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the section 6 battery-life estimate."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_power_budget
+
+
+def test_bench_power(benchmark):
+    report = benchmark.pedantic(run_power_budget, rounds=3, iterations=1)
+    report_and_assert(report)

@@ -1,0 +1,14 @@
+"""Benchmark: latency-compensated beam pointing (Kalman vs hold)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_prediction_horizon
+
+
+def test_bench_prediction(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_prediction_horizon(duration_s=20.0, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

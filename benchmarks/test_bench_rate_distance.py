@@ -1,0 +1,14 @@
+"""Benchmark: goodput vs distance range study (hall scale)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_rate_vs_distance
+
+
+def test_bench_rate_distance(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_rate_vs_distance(num_steps=14, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

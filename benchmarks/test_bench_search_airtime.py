@@ -1,0 +1,12 @@
+"""Benchmark: beam-search airtime cost + BLE installation timing."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_search_airtime
+
+
+def test_bench_search_airtime(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_search_airtime(seed=2016), rounds=1, iterations=1
+    )
+    report_and_assert(report)

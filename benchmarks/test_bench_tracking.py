@@ -1,0 +1,16 @@
+"""Benchmark: pose-assisted beam tracking vs re-searching (sec. 6 ext)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_tracking_speed
+from repro.experiments.testbed import default_testbed
+
+
+def test_bench_tracking(benchmark):
+    bed = default_testbed(seed=2016, shadowing_sigma_db=0.0)
+    report = benchmark.pedantic(
+        lambda: run_tracking_speed(duration_s=6.0, seed=2016, testbed=bed),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

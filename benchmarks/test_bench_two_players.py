@@ -1,0 +1,14 @@
+"""Benchmark: two simultaneous players sharing the room (SINR)."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_two_players
+
+
+def test_bench_two_players(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_two_players(num_pose_pairs=25, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

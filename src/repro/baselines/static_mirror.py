@@ -1,0 +1,114 @@
+"""Static metallic mirror baseline (the "Mirror Mirror" approach).
+
+Related work the paper distinguishes itself from: "[Zhou et al.,
+SIGCOMM 2012] proposed a form of mmWave mirror to reflect an RF signal
+off the ceiling of a data center.  Their approach, however, covers the
+ceiling with metal.  Such a design is unsuitable for home applications
+and cannot deal with player mobility."
+
+We model it as a metal panel on a wall: a perfect-ish specular
+reflector whose angle of reflection *equals* its angle of incidence —
+no steering, no amplification.  It helps only when the player happens
+to stand where the AP's mirror image geometry points, which the
+comparison benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.geometry.room import METAL, Occluder, Room, Wall
+from repro.geometry.shapes import Segment
+from repro.geometry.raytrace import PropagationPath, RayTracer
+from repro.geometry.vectors import Vec2
+from repro.link.budget import LinkBudget, LinkMeasurement
+from repro.link.radios import Radio
+
+
+@dataclass(frozen=True)
+class MirrorPanel:
+    """A metal panel mounted flush on a wall."""
+
+    segment: Segment
+
+    def as_wall(self) -> Wall:
+        return Wall(segment=self.segment, material=METAL)
+
+
+class StaticMirrorBaseline:
+    """A room augmented with fixed metal panels.
+
+    The panels join the room's wall list (as near-lossless reflectors);
+    links are evaluated with the LOS excluded, restricted to paths that
+    bounce off a panel — the mirror is only useful via its specular
+    geometry.
+    """
+
+    def __init__(
+        self,
+        room: Room,
+        panels: Sequence[MirrorPanel],
+        channel,
+    ) -> None:
+        if not panels:
+            raise ValueError("need at least one mirror panel")
+        self.panels = list(panels)
+        panel_walls = [p.as_wall() for p in self.panels]
+        self._augmented_room = Room(
+            walls=list(room.walls) + panel_walls,
+            occluders=list(room.occluders),
+            name=f"{room.name}+mirrors",
+        )
+        self._panel_walls = set(id(w) for w in panel_walls)
+        self.tracer = RayTracer(self._augmented_room)
+        self.budget = LinkBudget(self.tracer, channel)
+
+    def _is_mirror_path(self, path: PropagationPath) -> bool:
+        return any(id(w) in self._panel_walls for w in path.walls)
+
+    def evaluate(
+        self,
+        tx: Radio,
+        rx: Radio,
+        extra_occluders: Sequence[Occluder] = (),
+    ) -> LinkMeasurement:
+        """Best link through a mirror panel (LOS blocked scenario)."""
+        paths = self.tracer.reflection_paths(
+            tx.position, rx.position, max_bounces=2, extra_occluders=extra_occluders
+        )
+        mirror_paths = [p for p in paths if self._is_mirror_path(p)]
+        best: Optional[LinkMeasurement] = None
+        for path in mirror_paths:
+            m = self.budget.measure_aligned(tx, rx, path, extra_occluders=extra_occluders)
+            if best is None or m.snr_db > best.snr_db:
+                best = m
+        if best is None:
+            import math
+
+            return LinkMeasurement(
+                received_power_dbm=-math.inf,
+                snr_db=-math.inf,
+                dominant_path=None,
+                tx_steer_deg=tx.steering_deg,
+                rx_steer_deg=rx.steering_deg,
+            )
+        return best
+
+
+def wall_panel(
+    wall_start: Vec2,
+    wall_end: Vec2,
+    center_fraction: float = 0.5,
+    panel_length_m: float = 1.0,
+) -> MirrorPanel:
+    """A panel of ``panel_length_m`` centered at ``center_fraction``
+    along a wall segment."""
+    if not 0.0 < center_fraction < 1.0:
+        raise ValueError("center_fraction must be in (0, 1)")
+    if panel_length_m <= 0.0:
+        raise ValueError("panel_length_m must be positive")
+    direction = (wall_end - wall_start).normalized()
+    center = wall_start + (wall_end - wall_start) * center_fraction
+    half = direction * (panel_length_m / 2.0)
+    return MirrorPanel(segment=Segment(center - half, center + half))

@@ -1,0 +1,113 @@
+"""Command-line interface: run any experiment by its DESIGN.md id.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig9 --seed 7
+    python -m repro run all --seed 7
+
+Each experiment prints its regenerated table, notes, and the shape
+checks against the paper; the process exits non-zero if any check
+fails, so ``python -m repro run all`` doubles as a reproduction audit
+in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: Experiments that accept a ``seed`` keyword (all but the
+#: deterministic ones).
+_SEEDLESS = {"fig7", "sec6-battery"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "MoVR reproduction harness (Abari et al., HotNets 2016): "
+            "regenerate the paper's figures and the extension experiments."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id from DESIGN.md (e.g. fig9), or 'all'",
+    )
+    run.add_argument("--seed", type=int, default=2016, help="experiment seed")
+    run.add_argument(
+        "--max-rows",
+        type=int,
+        default=20,
+        help="limit printed table rows (default 20)",
+    )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the report(s) as JSON; for 'all', PATH gets a "
+        "per-experiment suffix",
+    )
+    return parser
+
+
+def _run_one(
+    experiment_id: str,
+    seed: int,
+    max_rows: int,
+    json_path: Optional[str] = None,
+) -> bool:
+    fn = ALL_EXPERIMENTS[experiment_id]
+    kwargs = {} if experiment_id in _SEEDLESS else {"seed": seed}
+    report = fn(**kwargs)
+    report.print_report(max_rows=max_rows)
+    print()
+    if json_path is not None:
+        report.save_json(json_path)
+    return report.all_checks_pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in ALL_EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if args.experiment == "all":
+        targets = list(ALL_EXPERIMENTS)
+    elif args.experiment in ALL_EXPERIMENTS:
+        targets = [args.experiment]
+    else:
+        known = ", ".join(ALL_EXPERIMENTS)
+        print(
+            f"unknown experiment {args.experiment!r}; known ids: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    all_ok = True
+    for experiment_id in targets:
+        json_path = args.json
+        if json_path is not None and len(targets) > 1:
+            stem, dot, ext = json_path.rpartition(".")
+            json_path = (
+                f"{stem}-{experiment_id}.{ext}" if dot else f"{json_path}-{experiment_id}"
+            )
+        ok = _run_one(experiment_id, args.seed, args.max_rows, json_path)
+        all_ok = all_ok and ok
+    if not all_ok:
+        print("one or more shape checks FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Control plane: BLE link, MoVR protocol, airtime scheduling."""
+
+from repro.control.bluetooth import BleConfig, BleLink
+from repro.control.protocol import (
+    MESSAGE_BYTES,
+    ControlLog,
+    ControlMessage,
+    CoordinatorState,
+    MessageType,
+    ReflectorCoordinator,
+)
+from repro.control.scheduler import (
+    AirtimeScheduler,
+    SearchImpact,
+    compare_search_strategies,
+)
+
+__all__ = [
+    "BleConfig",
+    "BleLink",
+    "MESSAGE_BYTES",
+    "ControlLog",
+    "ControlMessage",
+    "CoordinatorState",
+    "MessageType",
+    "ReflectorCoordinator",
+    "AirtimeScheduler",
+    "SearchImpact",
+    "compare_search_strategies",
+]

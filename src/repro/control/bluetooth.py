@@ -1,0 +1,111 @@
+"""Bluetooth LE control-channel model.
+
+"MoVR has a bluetooth link with the AP to exchange control
+information. Our prototype uses an Arduino to run its control
+protocol." (section 4 of the paper.)
+
+The control channel matters for system timing: every angle-search probe
+requires telling the reflector to retune (a BLE message), so the
+control link's latency — not the phase shifters' sub-microsecond
+settling — dominates calibration time.  The model covers connection-
+event scheduling (BLE transmits only at connection-interval
+boundaries), per-message jitter, and loss with retransmission.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import (
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+@dataclass(frozen=True)
+class BleConfig:
+    """BLE connection parameters.
+
+    The 7.5 ms default connection interval is BLE's minimum — the
+    right choice for a latency-sensitive control plane.  ``loss_rate``
+    models 2.4 GHz interference; lost packets retransmit at the next
+    connection event.
+    """
+
+    connection_interval_s: float = 0.0075
+    jitter_s: float = 0.0005
+    loss_rate: float = 0.02
+    max_retransmissions: int = 8
+    payload_bytes_per_event: int = 244
+
+    def __post_init__(self) -> None:
+        require_positive(self.connection_interval_s, "connection_interval_s")
+        require_non_negative(self.jitter_s, "jitter_s")
+        require_probability(self.loss_rate, "loss_rate")
+        if self.max_retransmissions < 0:
+            raise ValueError("max_retransmissions must be non-negative")
+        if self.payload_bytes_per_event <= 0:
+            raise ValueError("payload_bytes_per_event must be positive")
+
+
+class BleLink:
+    """A point-to-point BLE control link with realistic timing."""
+
+    def __init__(self, config: BleConfig = BleConfig(), rng: RngLike = None) -> None:
+        self.config = config
+        self._rng = make_rng(rng)
+        self.messages_sent = 0
+        self.retransmissions = 0
+
+    def delivery_time_s(self, send_time_s: float, message_bytes: int = 20) -> float:
+        """When a message handed to the radio at ``send_time_s`` arrives.
+
+        The message waits for the next connection event, may lose a few
+        events to interference, and needs multiple events if larger
+        than one event's payload.
+
+        Raises ``ConnectionError`` if retransmissions are exhausted —
+        callers treat this as a control-plane failure and re-establish.
+        """
+        if message_bytes <= 0:
+            raise ValueError("message_bytes must be positive")
+        interval = self.config.connection_interval_s
+        # Next connection-event boundary at or after the send time.
+        next_event = math.ceil(send_time_s / interval) * interval
+        events_needed = math.ceil(message_bytes / self.config.payload_bytes_per_event)
+        delivered = next_event
+        transmitted = 0
+        attempts = 0
+        while transmitted < events_needed:
+            if self._rng.random() < self.config.loss_rate:
+                attempts += 1
+                self.retransmissions += 1
+                if attempts > self.config.max_retransmissions:
+                    raise ConnectionError(
+                        "BLE control link lost: retransmission budget exhausted"
+                    )
+            else:
+                transmitted += 1
+            delivered += interval
+        self.messages_sent += 1
+        jitter = abs(float(self._rng.normal(0.0, self.config.jitter_s)))
+        return delivered + jitter
+
+    def round_trip_time_s(self, send_time_s: float, message_bytes: int = 20) -> float:
+        """Command + acknowledgment latency."""
+        arrival = self.delivery_time_s(send_time_s, message_bytes)
+        return self.delivery_time_s(arrival, 8) - send_time_s
+
+    def expected_one_way_latency_s(self) -> float:
+        """Mean one-way latency for a single-event message (analytic)."""
+        interval = self.config.connection_interval_s
+        p = self.config.loss_rate
+        # Half an interval of alignment wait + one event + geometric
+        # retransmissions.
+        return interval / 2.0 + interval * (1.0 + p / (1.0 - p))

@@ -1,0 +1,210 @@
+"""The MoVR control protocol: messages and the installation coordinator.
+
+The AP orchestrates each reflector over BLE (section 4 of the paper):
+
+1. **Angle search** — the AP commands the reflector to set both beams
+   to a trial angle and toggle its amplifier at ``f2``; the AP measures
+   the ``f1 + f2`` sideband and iterates (one BLE round trip per
+   reflector retune).
+2. **Gain calibration** — the AP commands gain steps; the reflector
+   reports its current-sensor reading back.
+3. **Steady state** — the AP pushes beam updates derived from VR
+   tracking; the reflector acknowledges.
+
+This module defines the message vocabulary, the per-reflector
+coordinator state machine, and the cost accounting (messages, BLE
+airtime, wall-clock) that the timing experiments report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.control.bluetooth import BleLink
+from repro.core.gain_control import CurrentSensingGainController, GainControlResult
+from repro.core.reflector import MoVRReflector
+from repro.link.beams import Codebook
+from repro.utils.validation import require_positive
+
+
+class MessageType(enum.Enum):
+    """Control-plane message vocabulary."""
+
+    SET_BEAMS = "set-beams"
+    SET_GAIN = "set-gain"
+    MODULATE_ON = "modulate-on"
+    MODULATE_OFF = "modulate-off"
+    READ_CURRENT = "read-current"
+    CURRENT_REPORT = "current-report"
+    ACK = "ack"
+
+
+#: Approximate over-the-air size of each message type [bytes].
+MESSAGE_BYTES: Dict[MessageType, int] = {
+    MessageType.SET_BEAMS: 12,
+    MessageType.SET_GAIN: 8,
+    MessageType.MODULATE_ON: 6,
+    MessageType.MODULATE_OFF: 6,
+    MessageType.READ_CURRENT: 6,
+    MessageType.CURRENT_REPORT: 10,
+    MessageType.ACK: 4,
+}
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """One control-plane message instance."""
+
+    msg_type: MessageType
+    send_time_s: float
+    arrival_time_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.arrival_time_s - self.send_time_s
+
+
+@dataclass
+class ControlLog:
+    """Accounting for a control-plane exchange."""
+
+    messages: List[ControlMessage] = field(default_factory=list)
+
+    def record(self, msg_type: MessageType, send_s: float, arrive_s: float) -> float:
+        self.messages.append(
+            ControlMessage(msg_type=msg_type, send_time_s=send_s, arrival_time_s=arrive_s)
+        )
+        return arrive_s
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(MESSAGE_BYTES[m.msg_type] for m in self.messages)
+
+    def count_by_type(self) -> Dict[MessageType, int]:
+        counts: Dict[MessageType, int] = {}
+        for m in self.messages:
+            counts[m.msg_type] = counts.get(m.msg_type, 0) + 1
+        return counts
+
+
+class CoordinatorState(enum.Enum):
+    """Lifecycle of one reflector in the AP's coordinator."""
+
+    DISCOVERED = "discovered"
+    ANGLE_SEARCH = "angle-search"
+    GAIN_CALIBRATION = "gain-calibration"
+    SERVING = "serving"
+    FAILED = "failed"
+
+
+class ReflectorCoordinator:
+    """Runs the installation sequence for one reflector over BLE.
+
+    All physics comes from callbacks supplied by the caller, keeping
+    this class purely about *protocol timing and sequencing*:
+
+    * ``measure_sideband(reflector_proto_deg) -> float`` — the AP's
+      sideband power measurement with the reflector's beams at a trial
+      angle (the AP side of section 4.1);
+    * the gain controller runs against the actual reflector device.
+    """
+
+    def __init__(
+        self,
+        reflector: MoVRReflector,
+        link: BleLink,
+        start_time_s: float = 0.0,
+    ) -> None:
+        self.reflector = reflector
+        self.link = link
+        self.state = CoordinatorState.DISCOVERED
+        self.log = ControlLog()
+        self.clock_s = start_time_s
+        self.angle_estimate_deg: Optional[float] = None
+        self.gain_result: Optional[GainControlResult] = None
+
+    # ------------------------------------------------------------------
+
+    def _send(self, msg_type: MessageType) -> None:
+        arrival = self.link.delivery_time_s(self.clock_s, MESSAGE_BYTES[msg_type])
+        self.clock_s = self.log.record(msg_type, self.clock_s, arrival)
+
+    def run_angle_search(
+        self,
+        measure_sideband: Callable[[float], float],
+        codebook: Codebook = None,
+        measurement_time_s: float = 0.0005,
+    ) -> float:
+        """Sweep the reflector's angle over BLE; returns the estimate.
+
+        One SET_BEAMS + ACK round per codebook entry, with modulation
+        switched on for the sweep — the dominant cost of installation.
+        """
+        require_positive(measurement_time_s, "measurement_time_s")
+        if codebook is None:
+            codebook = Codebook.uniform(40.0, 140.0, 1.0)
+        self.state = CoordinatorState.ANGLE_SEARCH
+        try:
+            self._send(MessageType.MODULATE_ON)
+            best_angle, best_metric = None, float("-inf")
+            for angle in codebook:
+                self._send(MessageType.SET_BEAMS)
+                self.clock_s += measurement_time_s
+                metric = measure_sideband(angle)
+                if metric > best_metric:
+                    best_angle, best_metric = angle, metric
+            self._send(MessageType.MODULATE_OFF)
+        except ConnectionError:
+            self.state = CoordinatorState.FAILED
+            raise
+        self.angle_estimate_deg = best_angle
+        return best_angle
+
+    def run_gain_calibration(
+        self,
+        input_power_dbm: float,
+        controller: Optional[CurrentSensingGainController] = None,
+    ) -> GainControlResult:
+        """Run the section 4.2 loop, charging BLE time per gain step.
+
+        Each step is a SET_GAIN command plus a CURRENT_REPORT reply.
+        """
+        self.state = CoordinatorState.GAIN_CALIBRATION
+        controller = (
+            controller
+            if controller is not None
+            else CurrentSensingGainController(self.reflector)
+        )
+        try:
+            result = controller.calibrate(input_power_dbm)
+            for _ in range(result.steps_taken):
+                self._send(MessageType.SET_GAIN)
+                self._send(MessageType.CURRENT_REPORT)
+            # The final backoff command.
+            self._send(MessageType.SET_GAIN)
+            self._send(MessageType.ACK)
+        except ConnectionError:
+            self.state = CoordinatorState.FAILED
+            raise
+        self.gain_result = result
+        self.state = CoordinatorState.SERVING
+        return result
+
+    def push_beam_update(self) -> None:
+        """Steady-state tracking update (SET_BEAMS + ACK)."""
+        if self.state is not CoordinatorState.SERVING:
+            raise RuntimeError(
+                f"cannot push beam updates in state {self.state.value}"
+            )
+        self._send(MessageType.SET_BEAMS)
+        self._send(MessageType.ACK)
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.clock_s

@@ -1,0 +1,126 @@
+"""Airtime scheduling: data frames vs beam-search probes.
+
+Section 6 of the paper: "Finding the best beam alignment is the most time
+consuming process in the design" — because every probe the AP spends
+measuring a candidate beam is airtime stolen from the video stream.
+This module models a TDD link where probing and data share the channel
+and answers: *how many frames does a search of N probes cost?*
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.link.beams import DEFAULT_PROBE_TIME_S
+from repro.utils.validation import require_non_negative, require_positive
+from repro.vr.traffic import DEFAULT_TRAFFIC, VrTrafficModel
+
+
+@dataclass(frozen=True)
+class SearchImpact:
+    """What one beam search costs the video stream."""
+
+    search_time_s: float
+    frames_at_risk: int
+    frames_lost: int
+    stall_s: float
+
+    @property
+    def disruptive(self) -> bool:
+        return self.frames_lost > 0
+
+
+@dataclass
+class AirtimeScheduler:
+    """A TDD link shared between VR frames and beam probing.
+
+    ``guard_fraction`` reserves headroom beyond the raw frame airtime
+    (MAC overhead, ACKs).  During a search the data link is down: the
+    radio cannot probe candidate beams and deliver frames at once.
+    A frame is lost when the search occupies so much of its deadline
+    window that the remaining airtime cannot carry it.
+    """
+
+    traffic: VrTrafficModel = DEFAULT_TRAFFIC
+    link_rate_mbps: float = 6756.75
+    probe_time_s: float = DEFAULT_PROBE_TIME_S
+    guard_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_positive(self.link_rate_mbps, "link_rate_mbps")
+        require_positive(self.probe_time_s, "probe_time_s")
+        require_non_negative(self.guard_fraction, "guard_fraction")
+
+    @property
+    def frame_airtime_s(self) -> float:
+        """Airtime one frame occupies, including guard overhead."""
+        return self.traffic.frame_airtime_s(self.link_rate_mbps) * (
+            1.0 + self.guard_fraction
+        )
+
+    @property
+    def slack_per_frame_s(self) -> float:
+        """Idle time inside each frame deadline window."""
+        return max(0.0, self.traffic.frame_deadline_s - self.frame_airtime_s)
+
+    def search_impact(self, num_probes: int) -> SearchImpact:
+        """Frames lost by a blocking search of ``num_probes`` probes.
+
+        The search runs contiguously (beam switching mid-frame would
+        corrupt the frame).  Frames whose deadline windows the search
+        overlaps are lost unless enough of the window remains to carry
+        the frame.
+        """
+        if num_probes < 0:
+            raise ValueError("num_probes must be non-negative")
+        search_time = num_probes * self.probe_time_s
+        interval = self.traffic.frame_interval_s
+        frames_at_risk = int(math.ceil(search_time / interval)) if search_time > 0 else 0
+        lost = 0
+        remaining = search_time
+        while remaining > 0.0:
+            window = min(remaining, interval)
+            # Time left in this frame's window after the search slice.
+            leftover = self.traffic.frame_deadline_s - window
+            if leftover < self.frame_airtime_s:
+                lost += 1
+            remaining -= interval
+        return SearchImpact(
+            search_time_s=search_time,
+            frames_at_risk=frames_at_risk,
+            frames_lost=lost,
+            stall_s=lost * interval,
+        )
+
+    def max_probes_without_frame_loss(self) -> int:
+        """Largest contiguous probe burst that costs zero frames."""
+        budget = self.traffic.frame_deadline_s - self.frame_airtime_s
+        if budget <= 0.0:
+            return 0
+        return int(budget / self.probe_time_s)
+
+
+def compare_search_strategies(
+    probe_counts: dict,
+    scheduler: Optional[AirtimeScheduler] = None,
+) -> List[dict]:
+    """Tabulate the frame cost of each search strategy.
+
+    ``probe_counts`` maps strategy name -> probes per search.
+    """
+    scheduler = scheduler if scheduler is not None else AirtimeScheduler()
+    rows = []
+    for name, probes in probe_counts.items():
+        impact = scheduler.search_impact(probes)
+        rows.append(
+            {
+                "strategy": name,
+                "probes": probes,
+                "search_time_ms": impact.search_time_s * 1000.0,
+                "frames_lost": impact.frames_lost,
+                "stall_ms": impact.stall_s * 1000.0,
+            }
+        )
+    return rows

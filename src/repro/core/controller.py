@@ -1,0 +1,296 @@
+"""The MoVR system controller: blockage detection and reflector handoff.
+
+Ties everything together (Fig. 5 of the paper): the AP serves the headset
+over the direct path while it is healthy; when blockage drops the
+direct SNR below the handoff threshold, the AP steers onto the best
+calibrated reflector, which amplifies-and-forwards to the headset.
+The controller owns calibration (gain control per reflector, beam
+angles from the backscatter search or from VR tracking geometry) and
+exposes per-instant link decisions for the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.gain_control import CurrentSensingGainController, GainControlResult
+from repro.core.reflector import MoVRReflector
+from repro.geometry.raytrace import RayTracer
+from repro.geometry.room import Occluder, Room
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.link.budget import LinkBudget, LinkMeasurement
+from repro.link.radios import Radio
+from repro.phy.channel import MmWaveChannel
+from repro.phy.noise import relay_path_snr_db
+from repro.rate.mcs import data_rate_mbps_for_snr
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import require_finite
+
+
+@dataclass(frozen=True)
+class RelayMeasurement:
+    """Link budget of an AP -> reflector -> headset relay path."""
+
+    reflector_name: str
+    amp_input_dbm: float
+    amp_output_dbm: float
+    received_power_dbm: float
+    first_hop_snr_db: float
+    second_hop_snr_db: float
+    end_to_end_snr_db: float
+    stable: bool
+
+
+@dataclass(frozen=True)
+class LinkDecision:
+    """The controller's choice for one instant."""
+
+    mode: str  # "los" | "reflector" | "outage"
+    snr_db: float
+    rate_mbps: float
+    via: Optional[str] = None
+    direct_snr_db: float = -math.inf
+
+    @property
+    def connected(self) -> bool:
+        return self.mode != "outage"
+
+
+class MoVRSystem:
+    """One room with an AP, a headset link target, and MoVR reflectors."""
+
+    def __init__(
+        self,
+        room: Room,
+        ap: Radio,
+        reflectors: Sequence[MoVRReflector],
+        channel: Optional[MmWaveChannel] = None,
+        handoff_snr_db: float = 13.0,
+        elevated_mounting: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        require_finite(handoff_snr_db, "handoff_snr_db")
+        self.room = room
+        self.ap = ap
+        self.reflectors = list(reflectors)
+        self.channel = channel if channel is not None else MmWaveChannel()
+        self.tracer = RayTracer(room)
+        self.budget = LinkBudget(self.tracer, self.channel)
+        self.handoff_snr_db = handoff_snr_db
+        #: Reflectors stick to walls above head height and the AP sits
+        #: on a shelf (Fig. 5 of the paper shows both elevated), so the
+        #: AP-to-reflector feed clears people and furniture, and the
+        #: descending reflector-to-headset hop is only obstructed by
+        #: things carried at the headset itself (a raised hand, the
+        #: player's own head).  This corrects the 2-D floor plan's lack
+        #: of elevation; disable to study floor-level mounting.
+        self.elevated_mounting = elevated_mounting
+        self._rng = make_rng(rng)
+        self._gain_results: Dict[str, GainControlResult] = {}
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    def calibrate_reflector_gains(self) -> Dict[str, GainControlResult]:
+        """Run the current-sensing gain controller on every reflector.
+
+        Each reflector first aims its receive beam at the AP (the
+        incidence angle is "measured once at installation"); the gain
+        knee is then found at the installed beam geometry.
+        """
+        results: Dict[str, GainControlResult] = {}
+        for reflector in self.reflectors:
+            reflector.set_beams(
+                bearing_deg(reflector.position, self.ap.position),
+                reflector.tx_azimuth_deg,
+            )
+            input_dbm = self._amp_input_dbm(reflector, extra_occluders=())
+            controller = CurrentSensingGainController(reflector, rng=self._rng)
+            results[reflector.name] = controller.calibrate(input_dbm)
+        self._gain_results = results
+        return results
+
+    @property
+    def gain_results(self) -> Dict[str, GainControlResult]:
+        return dict(self._gain_results)
+
+    # ------------------------------------------------------------------
+    # Link evaluation
+    # ------------------------------------------------------------------
+
+    def direct_link(
+        self,
+        headset_radio: Radio,
+        extra_occluders: Sequence[Occluder] = (),
+    ) -> LinkMeasurement:
+        """The direct AP <-> headset link, both beams on the LOS path."""
+        los = self.tracer.line_of_sight(
+            self.ap.position, headset_radio.position, extra_occluders
+        )
+        return self.budget.measure_aligned(
+            self.ap, headset_radio, los, extra_occluders=extra_occluders
+        )
+
+    def _headset_local_occluders(
+        self,
+        headset_position: Vec2,
+        extra_occluders: Sequence[Occluder],
+        radius_m: float = 0.6,
+    ) -> Sequence[Occluder]:
+        """Occluders attached to the player (hand, own head).
+
+        With elevated mounting, the descending reflector-to-headset hop
+        only intersects obstacles in the headset's immediate vicinity.
+        """
+        local = []
+        for occ in extra_occluders:
+            center = occ.center
+            if center.distance_to(headset_position) <= radius_m:
+                local.append(occ)
+        return local
+
+    def _amp_input_dbm(
+        self,
+        reflector: MoVRReflector,
+        extra_occluders: Sequence[Occluder],
+    ) -> float:
+        """Signal power at the reflector's amplifier input port."""
+        if self.elevated_mounting:
+            feed = self.tracer.line_of_sight(
+                self.ap.position,
+                reflector.position,
+                (),
+                include_room_occluders=False,
+            )
+        else:
+            feed = self.tracer.line_of_sight(
+                self.ap.position, reflector.position, extra_occluders
+            )
+        ap_steer = bearing_deg(self.ap.position, reflector.position)
+        ap_gain = self.ap.tx_gain_dbi(feed.departure_angle_deg, steer_override_deg=ap_steer)
+        rx_gain = reflector.rx_array.gain_dbi(feed.arrival_angle_deg)
+        return (
+            self.ap.config.tx_power_dbm
+            + ap_gain
+            + self.channel.path_gain_db(feed)
+            + rx_gain
+        )
+
+    def relay_link(
+        self,
+        reflector: MoVRReflector,
+        headset_radio: Radio,
+        extra_occluders: Sequence[Occluder] = (),
+        repoint: bool = True,
+    ) -> RelayMeasurement:
+        """Full amplify-and-forward budget through one reflector.
+
+        Steers the reflector's beams (RX at the AP, TX at the headset —
+        the angles MoVR gets from calibration plus VR tracking), then
+        accounts for amplifier noise, saturation, and the harmonic
+        SNR combination inherent to analog relays.  ``repoint=False``
+        keeps the reflector's current beams (beam-sweep studies).
+        """
+        if repoint:
+            reflector.point_at(self.ap.position, headset_radio.position)
+        amp_input = self._amp_input_dbm(reflector, extra_occluders)
+        first_hop_snr = amp_input - reflector.front_end_noise.noise_floor_dbm
+        amp_output = reflector.output_power_dbm(amp_input)
+        stable = reflector.is_stable()
+        if self.elevated_mounting:
+            out_path = self.tracer.line_of_sight(
+                reflector.position,
+                headset_radio.position,
+                self._headset_local_occluders(
+                    headset_radio.position, extra_occluders
+                ),
+                include_room_occluders=False,
+            )
+        else:
+            out_path = self.tracer.line_of_sight(
+                reflector.position, headset_radio.position, extra_occluders
+            )
+        tx_gain = reflector.tx_array.gain_dbi(out_path.departure_angle_deg)
+        hs_steer = bearing_deg(headset_radio.position, reflector.position)
+        hs_gain = headset_radio.rx_gain_dbi(
+            out_path.arrival_angle_deg, steer_override_deg=hs_steer
+        )
+        received = (
+            amp_output
+            + tx_gain
+            + self.channel.path_gain_db(out_path)
+            + hs_gain
+            - self.ap.config.implementation_loss_db
+        )
+        second_hop_snr = received - headset_radio.config.noise_floor_dbm
+        if not stable:
+            end_to_end = -math.inf  # oscillating amplifier: garbage out
+        else:
+            end_to_end = relay_path_snr_db(first_hop_snr, second_hop_snr)
+        return RelayMeasurement(
+            reflector_name=reflector.name,
+            amp_input_dbm=amp_input,
+            amp_output_dbm=amp_output,
+            received_power_dbm=received,
+            first_hop_snr_db=first_hop_snr,
+            second_hop_snr_db=second_hop_snr,
+            end_to_end_snr_db=end_to_end,
+            stable=stable,
+        )
+
+    def best_relay(
+        self,
+        headset_radio: Radio,
+        extra_occluders: Sequence[Occluder] = (),
+    ) -> Optional[RelayMeasurement]:
+        """The serving reflector candidate with the highest SNR."""
+        candidates = [
+            self.relay_link(r, headset_radio, extra_occluders)
+            for r in self.reflectors
+            if r.can_serve(self.ap.position, headset_radio.position)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda m: m.end_to_end_snr_db)
+
+    def decide(
+        self,
+        headset_radio: Radio,
+        extra_occluders: Sequence[Occluder] = (),
+    ) -> LinkDecision:
+        """Pick the serving path for the current instant.
+
+        The direct path is preferred whenever it clears the handoff
+        threshold (it needs no relay resources); otherwise the best
+        reflector serves; if nothing decodes, the link is in outage.
+        """
+        direct = self.direct_link(headset_radio, extra_occluders)
+        if direct.snr_db >= self.handoff_snr_db:
+            return LinkDecision(
+                mode="los",
+                snr_db=direct.snr_db,
+                rate_mbps=data_rate_mbps_for_snr(direct.snr_db),
+                direct_snr_db=direct.snr_db,
+            )
+        relay = self.best_relay(headset_radio, extra_occluders)
+        if relay is not None and relay.end_to_end_snr_db > direct.snr_db:
+            snr = relay.end_to_end_snr_db
+            rate = data_rate_mbps_for_snr(snr)
+            mode = "reflector" if rate > 0.0 else "outage"
+            return LinkDecision(
+                mode=mode,
+                snr_db=snr,
+                rate_mbps=rate,
+                via=relay.reflector_name,
+                direct_snr_db=direct.snr_db,
+            )
+        rate = data_rate_mbps_for_snr(direct.snr_db)
+        return LinkDecision(
+            mode="los" if rate > 0.0 else "outage",
+            snr_db=direct.snr_db,
+            rate_mbps=rate,
+            direct_snr_db=direct.snr_db,
+        )

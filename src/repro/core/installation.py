@@ -1,0 +1,127 @@
+"""End-to-end reflector installation: physics + control plane + retries.
+
+Ties the pieces of section 4 into the sequence an installer actually
+experiences: for each wall-mounted reflector, the AP coordinates the
+backscatter angle search and the gain calibration over BLE, retrying
+when the control link drops (2.4 GHz interference makes that routine,
+not exceptional), and records per-reflector timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.control.bluetooth import BleConfig, BleLink
+from repro.control.protocol import CoordinatorState, ReflectorCoordinator
+from repro.core.angle_search import BackscatterAngleSearch
+from repro.core.controller import MoVRSystem
+from repro.core.reflector import MoVRReflector
+from repro.geometry.vectors import bearing_deg
+from repro.link.beams import Codebook
+from repro.utils.rng import RngLike, child_rng, make_rng
+from repro.utils.validation import require_int
+
+
+@dataclass
+class InstallationRecord:
+    """Outcome of installing one reflector."""
+
+    reflector_name: str
+    succeeded: bool
+    attempts: int
+    angle_estimate_deg: Optional[float]
+    angle_error_deg: Optional[float]
+    final_gain_db: Optional[float]
+    elapsed_s: float
+    control_messages: int
+
+
+class InstallationManager:
+    """Runs the full installation sequence for a MoVR system."""
+
+    def __init__(
+        self,
+        system: MoVRSystem,
+        ble_config: BleConfig = BleConfig(),
+        max_attempts: int = 3,
+        angle_step_deg: float = 2.0,
+        rng: RngLike = None,
+    ) -> None:
+        require_int(max_attempts, "max_attempts", minimum=1)
+        self.system = system
+        self.ble_config = ble_config
+        self.max_attempts = max_attempts
+        self.angle_step_deg = angle_step_deg
+        self._rng = make_rng(rng)
+
+    def _install_once(
+        self,
+        reflector: MoVRReflector,
+        link: BleLink,
+    ) -> InstallationRecord:
+        """One installation attempt (may raise ``ConnectionError``)."""
+        search = BackscatterAngleSearch(
+            self.system.ap,
+            reflector,
+            self.system.tracer,
+            self.system.channel,
+            rng=self._rng,
+        )
+        coordinator = ReflectorCoordinator(reflector, link)
+        truth_ap_bearing = bearing_deg(self.system.ap.position, reflector.position)
+        self.system.ap.steer_to(truth_ap_bearing)
+        estimate = coordinator.run_angle_search(
+            lambda proto: search.measure_sideband_dbm(truth_ap_bearing, proto),
+            codebook=Codebook.uniform(40.0, 140.0, self.angle_step_deg),
+        )
+        # Lock the receive beam onto the estimated incidence angle.
+        reflector.set_beams(
+            reflector.prototype_to_azimuth(estimate), reflector.tx_azimuth_deg
+        )
+        input_dbm = self.system._amp_input_dbm(reflector, ())
+        gain_result = coordinator.run_gain_calibration(input_dbm)
+        truth = reflector.azimuth_to_prototype(
+            bearing_deg(reflector.position, self.system.ap.position)
+        )
+        return InstallationRecord(
+            reflector_name=reflector.name,
+            succeeded=coordinator.state is CoordinatorState.SERVING,
+            attempts=1,
+            angle_estimate_deg=estimate,
+            angle_error_deg=abs(estimate - truth),
+            final_gain_db=gain_result.final_gain_db,
+            elapsed_s=coordinator.elapsed_s,
+            control_messages=coordinator.log.message_count,
+        )
+
+    def install(self, reflector: MoVRReflector) -> InstallationRecord:
+        """Install one reflector, retrying over fresh BLE connections."""
+        elapsed = 0.0
+        messages = 0
+        for attempt in range(1, self.max_attempts + 1):
+            link = BleLink(self.ble_config, rng=child_rng(self._rng, attempt))
+            try:
+                record = self._install_once(reflector, link)
+            except ConnectionError:
+                elapsed += 2.0  # reconnection backoff
+                messages += link.messages_sent
+                continue
+            record.attempts = attempt
+            record.elapsed_s += elapsed
+            record.control_messages += messages
+            return record
+        return InstallationRecord(
+            reflector_name=reflector.name,
+            succeeded=False,
+            attempts=self.max_attempts,
+            angle_estimate_deg=None,
+            angle_error_deg=None,
+            final_gain_db=None,
+            elapsed_s=elapsed,
+            control_messages=messages,
+        )
+
+    def install_all(self) -> Dict[str, InstallationRecord]:
+        """Install every reflector in the system, sequentially."""
+        return {r.name: self.install(r) for r in self.system.reflectors}

@@ -1,0 +1,128 @@
+"""TX-to-RX leakage model of the MoVR reflector board.
+
+Some of the signal radiated by the reflector's transmit array couples
+straight back into its receive array (Fig. 6(a) of the paper), closing a
+positive feedback loop around the amplifier.  Fig. 7 of the paper measures
+this coupling at between -80 and -50 dB, varying by ~20 dB as the TX
+beam steers and differing between RX beam angles.
+
+The model composes three physically distinct mechanisms:
+
+1. **Board-level isolation** — substrate and enclosure coupling,
+   independent of steering (the -80 dB floor).
+2. **Over-the-air coupling** — the TX array's pattern evaluated toward
+   the RX array (which sits broadside-adjacent on the same board, i.e.
+   near endfire), times the RX array's pattern toward the TX array,
+   over the free-space loss across the few-centimeter antenna
+   separation.  Steering moves both arrays' sidelobe structures across
+   endfire, producing exactly the oscillatory angle dependence of
+   Fig. 7.
+3. **Nearby-scatterer bounce** — energy reflected off objects near the
+   mounting wall; weakly dependent on the *pair* of angles (strongest
+   when the beams converge), adding the slow trend across TX angle.
+
+Angle convention: the paper's prototype angles, where 90 degrees is
+broadside and the usable range is 40-140 degrees (matching Figs. 7/8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.antenna import MOVR_ARRAY, PhasedArray, PhasedArrayConfig
+from repro.phy.channel import free_space_path_loss_db
+from repro.utils.db import db_sum_powers
+from repro.utils.validation import require_in_range, require_positive
+
+#: Prototype angle convention bounds (Figs. 7 and 8 of the paper).
+MIN_ANGLE_DEG = 40.0
+MAX_ANGLE_DEG = 140.0
+BROADSIDE_DEG = 90.0
+
+
+@dataclass
+class ReflectorLeakageModel:
+    """Computes TX->RX coupling (a negative dB gain) vs beam angles."""
+
+    array: PhasedArrayConfig = field(default_factory=lambda: MOVR_ARRAY)
+    antenna_separation_m: float = 0.08
+    board_isolation_db: float = 80.0
+    edge_diffraction_loss_db: float = 8.0
+    grazing_angle_deg: float = 15.0
+    scatterer_coupling_db: float = 85.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.antenna_separation_m, "antenna_separation_m")
+        require_positive(self.board_isolation_db, "board_isolation_db")
+        require_positive(self.edge_diffraction_loss_db, "edge_diffraction_loss_db")
+        require_in_range(self.grazing_angle_deg, 1.0, 45.0, "grazing_angle_deg")
+        require_positive(self.scatterer_coupling_db, "scatterer_coupling_db")
+        # Two identical arrays mounted side by side, boresight at the
+        # prototype's 90-degree broadside.
+        self._tx_array = PhasedArray(self.array, boresight_deg=BROADSIDE_DEG)
+        self._rx_array = PhasedArray(self.array, boresight_deg=BROADSIDE_DEG)
+        self._separation_loss_db = free_space_path_loss_db(
+            self.antenna_separation_m, self.array.carrier_hz
+        )
+
+    def leakage_db(self, tx_angle_deg: float, rx_angle_deg: float) -> float:
+        """Coupling gain (negative dB) for a beam-angle pair.
+
+        ``tx_angle_deg`` / ``rx_angle_deg`` use the prototype
+        convention (90 = broadside, range 40-140).
+        """
+        require_in_range(tx_angle_deg, MIN_ANGLE_DEG, MAX_ANGLE_DEG, "tx_angle_deg")
+        require_in_range(rx_angle_deg, MIN_ANGLE_DEG, MAX_ANGLE_DEG, "rx_angle_deg")
+        # Over-the-air: pure endfire is shadowed by the arrays' ground
+        # plane, so coupling rides over the board edge at a grazing
+        # direction just in front of the board — where the steered
+        # sidelobe structure sweeps past, producing Fig. 7's ~20 dB
+        # swings with TX angle.  The near-field coupling constant is an
+        # empirical calibration (the antennas sit well inside each
+        # other's Fresnel region, where Friis does not apply): it is
+        # chosen so matched sidelobes couple at about -50 dB and deep
+        # nulls bottom out at the board isolation floor, the range of
+        # Fig. 7.
+        graze = self.grazing_angle_deg
+        tx_rel = self._tx_array.relative_pattern_db(graze, steer_deg=tx_angle_deg)
+        rx_rel = self._rx_array.relative_pattern_db(180.0 - graze, steer_deg=rx_angle_deg)
+        over_air = -self.edge_diffraction_loss_db + tx_rel + rx_rel
+        # Nearby-scatterer bounce: strongest when both beams point the
+        # same way (the scatterer illuminated by TX is in RX's beam).
+        convergence = math.cos(math.radians(tx_angle_deg - rx_angle_deg))
+        scatter = -self.scatterer_coupling_db + 4.0 * convergence
+        board = -self.board_isolation_db
+        return db_sum_powers([over_air, scatter, board])
+
+    def leakage_curve(
+        self,
+        rx_angle_deg: float,
+        tx_start_deg: float = MIN_ANGLE_DEG,
+        tx_stop_deg: float = MAX_ANGLE_DEG,
+        step_deg: float = 1.0,
+    ) -> np.ndarray:
+        """Leakage vs TX angle at a fixed RX angle (one Fig. 7 panel).
+
+        Returns shape (n, 2): TX angle, leakage dB.
+        """
+        angles = np.arange(tx_start_deg, tx_stop_deg + step_deg / 2.0, step_deg)
+        values = [self.leakage_db(float(a), rx_angle_deg) for a in angles]
+        return np.stack([angles, np.asarray(values)], axis=1)
+
+    def worst_case_leakage_db(self, step_deg: float = 5.0) -> float:
+        """The strongest coupling over the whole angle grid.
+
+        An amplifier gain below ``-worst_case`` is unconditionally
+        stable — the conservative alternative to adaptive gain that the
+        ablation benchmark compares against.
+        """
+        worst = -math.inf
+        angles = np.arange(MIN_ANGLE_DEG, MAX_ANGLE_DEG + step_deg / 2.0, step_deg)
+        for tx in angles:
+            for rx in angles:
+                worst = max(worst, self.leakage_db(float(tx), float(rx)))
+        return worst

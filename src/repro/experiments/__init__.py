@@ -1,0 +1,85 @@
+"""Experiment harness: one module per paper figure plus extensions.
+
+Each ``run_*`` function regenerates one artifact of the paper (or an
+extension/ablation) and returns an :class:`ExperimentReport` whose
+shape checks encode the paper's qualitative claims.
+"""
+
+from repro.experiments.ablation_codebook import run_ablation_codebook
+from repro.experiments.ablation_deployment import run_ablation_deployment
+from repro.experiments.apartment import run_apartment
+from repro.experiments.ablation_handoff import run_ablation_handoff
+from repro.experiments.ablation_gain import run_ablation_gain
+from repro.experiments.ablation_search import run_ablation_search
+from repro.experiments.comparison import run_comparison
+from repro.experiments.e2e_session import run_e2e_session
+from repro.experiments.fig3_blockage import run_fig3
+from repro.experiments.fig7_leakage import run_fig7
+from repro.experiments.fig8_alignment import run_fig8
+from repro.experiments.fig9_snr_cdf import run_fig9
+from repro.experiments.harness import ExperimentReport, ShapeCheck
+from repro.experiments.latency_budget import run_latency_budget
+from repro.experiments.power_budget import run_power_budget
+from repro.experiments.prediction_horizon import run_prediction_horizon
+from repro.experiments.rate_vs_distance import run_rate_vs_distance
+from repro.experiments.search_airtime import run_search_airtime
+from repro.experiments.testbed import (
+    BLOCKING_SCENARIOS,
+    BlockageScenario,
+    Testbed,
+    default_testbed,
+)
+from repro.experiments.tracking_speed import run_tracking_speed
+from repro.experiments.two_players import run_two_players
+
+#: Every experiment in DESIGN.md's per-experiment index.
+ALL_EXPERIMENTS = {
+    "fig3": run_fig3,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "sec6-battery": run_power_budget,
+    "ext-tracking": run_tracking_speed,
+    "ext-e2e": run_e2e_session,
+    "ablation-gain": run_ablation_gain,
+    "ablation-deployment": run_ablation_deployment,
+    "ablation-handoff": run_ablation_handoff,
+    "ablation-codebook": run_ablation_codebook,
+    "ext-two-players": run_two_players,
+    "ext-rate-distance": run_rate_vs_distance,
+    "ext-latency": run_latency_budget,
+    "ext-apartment": run_apartment,
+    "ext-prediction": run_prediction_horizon,
+    "ext-search-airtime": run_search_airtime,
+    "ablation-search": run_ablation_search,
+    "comparison": run_comparison,
+}
+
+__all__ = [
+    "run_ablation_codebook",
+    "run_ablation_deployment",
+    "run_apartment",
+    "run_ablation_handoff",
+    "run_two_players",
+    "run_ablation_gain",
+    "run_prediction_horizon",
+    "run_rate_vs_distance",
+    "run_latency_budget",
+    "run_search_airtime",
+    "run_ablation_search",
+    "run_comparison",
+    "run_e2e_session",
+    "run_fig3",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_power_budget",
+    "run_tracking_speed",
+    "ExperimentReport",
+    "ShapeCheck",
+    "BLOCKING_SCENARIOS",
+    "BlockageScenario",
+    "Testbed",
+    "default_testbed",
+    "ALL_EXPERIMENTS",
+]

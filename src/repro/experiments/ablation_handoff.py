@@ -1,0 +1,139 @@
+"""Ablation: the handoff threshold.
+
+The controller prefers the direct path while its SNR clears
+``handoff_snr_db`` and otherwise rides a reflector.  Where should that
+threshold sit?
+
+* too low — the controller clings to a blockage-degraded direct path
+  and the stream glitches;
+* too high — the controller flaps between paths whenever the direct
+  SNR wobbles around the threshold, and every handoff costs a beam
+  switch (~a frame of disturbance);
+* the sweet spot sits just above the VR requirement (~13 dB), which is
+  the library default.
+
+The experiment replays one fixed session (motion + blockage events)
+against each threshold and reports glitch rate and handoff count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.e2e_session import _sample_blockage_events
+from repro.experiments.harness import ExperimentReport
+from repro.experiments.testbed import Testbed, default_testbed
+from repro.geometry.mobility import VrPlayerMotion
+from repro.link.radios import HEADSET_RADIO_CONFIG, Radio
+from repro.rate.mcs import data_rate_mbps_for_snr
+from repro.utils.rng import RngLike, child_rng, make_rng
+from repro.vr.traffic import DEFAULT_TRAFFIC
+
+#: Thresholds swept (dB); 13 is the library default.
+THRESHOLDS_DB = (5.0, 13.0, 21.0, 27.0)
+
+#: Frames disturbed per handoff (beam switch + MCS re-lock).
+HANDOFF_COST_FRAMES = 1
+
+
+def run_ablation_handoff(
+    duration_s: float = 12.0,
+    seed: RngLike = None,
+    testbed: Testbed = None,
+) -> ExperimentReport:
+    """Sweep the handoff threshold over one replayed session."""
+    if duration_s <= 0.0:
+        raise ValueError("duration_s must be positive")
+    rng = make_rng(seed)
+    bed = testbed if testbed is not None else default_testbed(
+        seed=child_rng(rng, 0), shadowing_sigma_db=2.0
+    )
+    system = bed.system
+    motion = VrPlayerMotion(bed.room, seed=child_rng(rng, 1))
+    trace = motion.generate(duration_s, sample_rate_hz=90.0)
+    events = _sample_blockage_events(duration_s, child_rng(rng, 2))
+    frame_interval = DEFAULT_TRAFFIC.frame_interval_s
+    required = DEFAULT_TRAFFIC.required_rate_mbps
+    num_frames = int(duration_s / frame_interval)
+
+    report = ExperimentReport(
+        experiment_id="ablation-handoff",
+        title="Handoff threshold: glitch rate vs path flapping",
+    )
+    results: Dict[float, Dict[str, float]] = {}
+    original_threshold = system.handoff_snr_db
+    try:
+        for threshold in THRESHOLDS_DB:
+            system.handoff_snr_db = threshold
+            glitches = 0
+            handoffs = 0
+            previous_mode = None
+            handoff_penalty = 0
+            for index in range(num_frames):
+                t = index * frame_interval
+                pose = trace.pose_at(t)
+                headset = Radio(
+                    pose.position,
+                    boresight_deg=pose.yaw_deg,
+                    config=HEADSET_RADIO_CONFIG,
+                )
+                occluders = []
+                for event in events:
+                    if event.start_s <= t <= event.start_s + event.duration_s:
+                        occluders.extend(
+                            bed.blockage_occluders(event.scenario, headset)
+                        )
+                decision = system.decide(headset, extra_occluders=occluders)
+                mode_key = (decision.mode, decision.via)
+                if previous_mode is not None and mode_key != previous_mode:
+                    handoffs += 1
+                    handoff_penalty = HANDOFF_COST_FRAMES
+                previous_mode = mode_key
+                if handoff_penalty > 0:
+                    glitches += 1
+                    handoff_penalty -= 1
+                    continue
+                if decision.rate_mbps < required:
+                    glitches += 1
+            results[threshold] = {
+                "glitch_rate": glitches / num_frames,
+                "handoffs": handoffs,
+            }
+            report.add_row(
+                threshold_db=threshold,
+                glitch_rate=glitches / num_frames,
+                handoffs=handoffs,
+                handoffs_per_min=handoffs / (duration_s / 60.0),
+            )
+    finally:
+        system.handoff_snr_db = original_threshold
+
+    default = results[13.0]
+    low = results[5.0]
+    high = results[27.0]
+    report.check(
+        "a too-low threshold clings to blocked LOS and glitches more",
+        low["glitch_rate"] >= default["glitch_rate"],
+        f"{100.0 * low['glitch_rate']:.1f}% at 5 dB vs "
+        f"{100.0 * default['glitch_rate']:.1f}% at 13 dB",
+    )
+    report.check(
+        "a too-high threshold flaps between paths",
+        high["handoffs"] > default["handoffs"],
+        f"{high['handoffs']} handoffs at 27 dB vs {default['handoffs']} "
+        "at 13 dB",
+    )
+    worse_extreme = max(low["glitch_rate"], high["glitch_rate"])
+    report.check(
+        "the default threshold sits at the bottom of the U",
+        default["glitch_rate"] <= 0.05
+        and default["glitch_rate"] <= low["glitch_rate"]
+        and default["glitch_rate"] <= high["glitch_rate"]
+        and default["glitch_rate"] * 3.0 <= worse_extreme,
+        f"{100.0 * default['glitch_rate']:.2f}% at 13 dB vs "
+        f"{100.0 * low['glitch_rate']:.1f}% (5 dB) and "
+        f"{100.0 * high['glitch_rate']:.1f}% (27 dB)",
+    )
+    return report

@@ -1,0 +1,131 @@
+"""Extension experiment: an honest system boundary — the apartment test.
+
+mmWave does not usefully penetrate structural walls, and MoVR's
+reflectors are line-of-sight devices too.  This experiment builds a
+two-room apartment (living room with the PC/AP and a reflector; a
+bedroom behind a drywall partition with a connecting doorway) and
+shows exactly where the system works and where it cannot:
+
+* anywhere in the living room: full rate, with or without blockage;
+* in the bedroom behind the partition: outage — 60 dB of drywall
+  penetration kills the direct path AND every reflector path;
+* standing in the doorway: the through-door geometry can still work.
+
+The honest conclusion (and a deployment rule for the README): one AP
+plus reflectors per *room*; walls are hard boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.controller import MoVRSystem
+from repro.core.reflector import MoVRReflector
+from repro.experiments.harness import ExperimentReport
+from repro.geometry.room import DRYWALL, Room, Wall, rectangular_room
+from repro.geometry.shapes import Segment
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.link.radios import DEFAULT_RADIO_CONFIG, HEADSET_RADIO_CONFIG, Radio
+from repro.phy.channel import MmWaveChannel
+from repro.rate.mcs import data_rate_mbps_for_snr
+from repro.utils.rng import RngLike, child_rng, make_rng
+from repro.vr.traffic import DEFAULT_TRAFFIC
+
+
+def build_apartment() -> Room:
+    """An 8 m x 5 m apartment: living room (x < 5) | bedroom (x > 5),
+    partition at x = 5 with a 1 m doorway at y in [2.0, 3.0]."""
+    apartment = rectangular_room(8.0, 5.0, name="apartment")
+    # Partition with a doorway gap: two wall segments.
+    apartment.walls.append(Wall(Segment(Vec2(5.0, 0.0), Vec2(5.0, 2.0)), DRYWALL))
+    apartment.walls.append(Wall(Segment(Vec2(5.0, 3.0), Vec2(5.0, 5.0)), DRYWALL))
+    return apartment
+
+
+def run_apartment(seed: RngLike = None) -> ExperimentReport:
+    """Coverage map of the two-room apartment."""
+    rng = make_rng(seed)
+    room = build_apartment()
+    ap = Radio(Vec2(0.3, 0.3), boresight_deg=45.0, config=DEFAULT_RADIO_CONFIG)
+    living_corner = Vec2(4.7, 4.7)
+    reflector = MoVRReflector(
+        living_corner,
+        boresight_deg=bearing_deg(living_corner, Vec2(2.5, 2.5)),
+        name="living-room-unit",
+    )
+    system = MoVRSystem(
+        room,
+        ap,
+        [reflector],
+        channel=MmWaveChannel(shadowing_sigma_db=0.0),
+        rng=child_rng(rng, 0),
+    )
+    system.calibrate_reflector_gains()
+    required = DEFAULT_TRAFFIC.required_rate_mbps
+
+    spots = [
+        ("living room center", Vec2(2.5, 2.5)),
+        ("living room far side", Vec2(4.2, 1.0)),
+        ("doorway", Vec2(5.0 - 0.15, 2.5)),
+        ("just inside bedroom, in the door beam", Vec2(5.6, 2.5)),
+        ("bedroom center", Vec2(6.5, 4.0)),
+        ("bedroom far corner", Vec2(7.6, 0.8)),
+    ]
+    results = {}
+    report = ExperimentReport(
+        experiment_id="ext-apartment",
+        title="Two-room apartment: where the system works and where it cannot",
+    )
+    for label, position in spots:
+        headset = Radio(
+            position,
+            boresight_deg=bearing_deg(position, ap.position),
+            config=HEADSET_RADIO_CONFIG,
+        )
+        decision = system.decide(headset)
+        direct = system.direct_link(headset)
+        results[label] = decision
+        report.add_row(
+            location=label,
+            x=position.x,
+            y=position.y,
+            direct_snr_db=direct.snr_db,
+            walls_crossed=len(
+                system.tracer.line_of_sight(ap.position, position).penetrated_walls
+            ),
+            mode=decision.mode,
+            rate_gbps=decision.rate_mbps / 1000.0,
+            vr_ok=bool(decision.rate_mbps >= required),
+        )
+
+    report.check(
+        "the living room is fully covered",
+        all(
+            results[label].rate_mbps >= required
+            for label in ("living room center", "living room far side")
+        ),
+        "full rate at both living-room spots",
+    )
+    report.check(
+        "the bedroom behind the partition is an outage zone "
+        "(walls are hard boundaries)",
+        all(
+            results[label].rate_mbps < required
+            for label in ("bedroom center", "bedroom far corner")
+        ),
+        "drywall penetration (~60 dB) kills direct and reflector paths alike",
+    )
+    report.check(
+        "the doorway still passes the beam",
+        results["doorway"].rate_mbps >= required,
+        f"{results['doorway'].rate_mbps / 1000.0:.2f} Gbps in the doorway",
+    )
+    in_beam = results["just inside bedroom, in the door beam"]
+    report.note(
+        "just inside the bedroom, aligned with the doorway: "
+        f"{in_beam.rate_mbps / 1000.0:.2f} Gbps via {in_beam.mode} — "
+        "through-door geometry can work, but a step sideways loses it"
+    )
+    return report

@@ -1,0 +1,150 @@
+"""System comparison: MoVR vs the alternatives the paper discusses.
+
+One table summarizing, for each untethering approach, whether it meets
+the VR rate under blockage and what infrastructure it costs:
+
+* **WiFi (802.11ac)** — "cannot support the required data rates";
+* **bare mmWave** — great until something blocks the beam;
+* **Opt-NLOS fallback** — existing 60 GHz practice, too lossy;
+* **static metal mirror** — fixed geometry, cannot follow the player;
+* **multi-AP** — works, but at heavy cabling/transceiver cost
+  ("defeats the purpose of a wireless design");
+* **MoVR** — one AP plus cheap reflectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines.multi_ap import MultiApBaseline, movr_deployment_cost
+from repro.baselines.nlos_relay import OptNlosBaseline
+from repro.baselines.static_mirror import StaticMirrorBaseline, wall_panel
+from repro.baselines.wifi import DEFAULT_WIFI, max_wifi_goodput_mbps
+from repro.experiments.harness import ExperimentReport
+from repro.experiments.testbed import (
+    BLOCKING_SCENARIOS,
+    Testbed,
+    default_testbed,
+)
+from repro.geometry.vectors import Vec2
+from repro.rate.mcs import data_rate_mbps_for_snr
+from repro.utils.rng import RngLike, child_rng, make_rng
+from repro.vr.traffic import DEFAULT_TRAFFIC
+
+
+def run_comparison(
+    num_runs: int = 12,
+    seed: RngLike = None,
+    testbed: Testbed = None,
+) -> ExperimentReport:
+    """Coverage-under-blockage and cost for each approach."""
+    if num_runs < 1:
+        raise ValueError("num_runs must be >= 1")
+    rng = make_rng(seed)
+    bed = testbed if testbed is not None else default_testbed(seed=child_rng(rng, 0))
+    system = bed.system
+    required = DEFAULT_TRAFFIC.required_rate_mbps
+    opt_nlos = OptNlosBaseline(system.budget)
+    mirror = StaticMirrorBaseline(
+        bed.room,
+        panels=[
+            wall_panel(Vec2(0.0, 5.0), Vec2(5.0, 5.0), 0.5, 1.2),
+            wall_panel(Vec2(5.0, 0.0), Vec2(5.0, 5.0), 0.5, 1.2),
+        ],
+        channel=system.channel,
+    )
+    multi_ap = MultiApBaseline(
+        system.budget,
+        ap_positions=[Vec2(0.3, 0.3), Vec2(4.7, 0.3), Vec2(2.5, 4.7)],
+        console_position=Vec2(0.3, 0.3),
+    )
+
+    success: Dict[str, List[bool]] = {
+        "bare mmWave": [],
+        "Opt-NLOS": [],
+        "static mirror": [],
+        "multi-AP": [],
+        "MoVR": [],
+    }
+    for run in range(num_runs):
+        headset = bed.random_headset()
+        scenario = BLOCKING_SCENARIOS[run % len(BLOCKING_SCENARIOS)]
+        occluders = bed.blockage_occluders(scenario, headset)
+        snrs = {
+            "bare mmWave": system.direct_link(headset, extra_occluders=occluders).snr_db,
+            "Opt-NLOS": opt_nlos.evaluate(
+                system.ap, headset, extra_occluders=occluders
+            ).snr_db,
+            "static mirror": mirror.evaluate(
+                system.ap, headset, extra_occluders=occluders
+            ).snr_db,
+            "multi-AP": multi_ap.evaluate(headset, extra_occluders=occluders).snr_db,
+        }
+        relay = system.best_relay(headset, extra_occluders=occluders)
+        snrs["MoVR"] = relay.end_to_end_snr_db if relay is not None else float("-inf")
+        for name, snr in snrs.items():
+            success[name].append(data_rate_mbps_for_snr(snr) >= required)
+
+    wifi_ceiling = max_wifi_goodput_mbps(DEFAULT_WIFI)
+    costs = {
+        "WiFi (802.11ac)": movr_deployment_cost(0),
+        "bare mmWave": movr_deployment_cost(0),
+        "Opt-NLOS": movr_deployment_cost(0),
+        "static mirror": movr_deployment_cost(0),
+        "multi-AP": multi_ap.deployment_cost(),
+        "MoVR": movr_deployment_cost(len(system.reflectors)),
+    }
+
+    report = ExperimentReport(
+        experiment_id="comparison",
+        title="Untethering approaches under blockage: coverage and cost",
+    )
+    report.add_row(
+        approach="WiFi (802.11ac)",
+        vr_coverage_pct=0.0,
+        transceivers=costs["WiFi (802.11ac)"].num_transceivers,
+        cable_m=costs["WiFi (802.11ac)"].cable_meters,
+        note=f"ceiling {wifi_ceiling / 1000.0:.2f} Gbps < required",
+    )
+    for name in ("bare mmWave", "Opt-NLOS", "static mirror", "multi-AP", "MoVR"):
+        cost = costs[name]
+        report.add_row(
+            approach=name,
+            vr_coverage_pct=100.0 * float(np.mean(success[name])),
+            transceivers=cost.num_transceivers,
+            cable_m=cost.cable_meters,
+            note="",
+        )
+
+    report.check(
+        "WiFi cannot reach the VR rate even at its ceiling",
+        wifi_ceiling < required,
+        f"802.11ac ceiling {wifi_ceiling / 1000.0:.2f} Gbps vs required "
+        f"{required / 1000.0:.1f} Gbps",
+    )
+    report.check(
+        "bare mmWave / Opt-NLOS / static mirror all fail under blockage",
+        float(np.mean(success["bare mmWave"])) < 0.5
+        and float(np.mean(success["Opt-NLOS"])) < 0.5
+        and float(np.mean(success["static mirror"])) < 0.5,
+        "coverage: "
+        + ", ".join(
+            f"{n} {100.0 * float(np.mean(success[n])):.0f}%"
+            for n in ("bare mmWave", "Opt-NLOS", "static mirror")
+        ),
+    )
+    report.check(
+        "MoVR matches multi-AP coverage",
+        float(np.mean(success["MoVR"])) >= float(np.mean(success["multi-AP"])) - 0.1,
+        f"MoVR {100.0 * float(np.mean(success['MoVR'])):.0f}% vs multi-AP "
+        f"{100.0 * float(np.mean(success['multi-AP'])):.0f}%",
+    )
+    report.check(
+        "MoVR needs far less cabling than multi-AP",
+        costs["MoVR"].cable_meters * 3.0 <= costs["multi-AP"].cable_meters,
+        f"{costs['MoVR'].cable_meters:.0f} m vs "
+        f"{costs['multi-AP'].cable_meters:.0f} m",
+    )
+    return report

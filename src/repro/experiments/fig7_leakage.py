@@ -1,0 +1,78 @@
+"""Figure 7: TX-to-RX leakage versus beam angles.
+
+The paper measures the reflector's antenna-to-antenna coupling while
+sweeping the TX beam from 40 to 140 degrees, at two RX beam angles
+(50 and 65 degrees).  Shape targets:
+
+* leakage lives between roughly -80 and -50 dB;
+* it varies strongly (the paper: "as high as 20 dB") with the TX angle;
+* the curve *changes with the RX angle* — which is why a fixed,
+  factory-calibrated gain cannot be optimal and MoVR needs its
+  adaptive current-sensing controller.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.leakage import ReflectorLeakageModel
+from repro.experiments.harness import ExperimentReport
+
+#: RX beam angles of the figure's two panels.
+FIGURE_RX_ANGLES_DEG = (50.0, 65.0)
+
+
+def run_fig7(
+    rx_angles_deg: Sequence[float] = FIGURE_RX_ANGLES_DEG,
+    tx_step_deg: float = 1.0,
+    model: ReflectorLeakageModel = None,
+) -> ExperimentReport:
+    """Regenerate both panels of Fig. 7."""
+    if tx_step_deg <= 0.0:
+        raise ValueError("tx_step_deg must be positive")
+    if not rx_angles_deg:
+        raise ValueError("need at least one RX angle")
+    model = model if model is not None else ReflectorLeakageModel()
+    report = ExperimentReport(
+        experiment_id="fig7",
+        title="Leakage between TX and RX antennas vs beam angles",
+    )
+    curves = {}
+    for rx in rx_angles_deg:
+        curve = model.leakage_curve(rx, step_deg=tx_step_deg)
+        curves[rx] = curve
+    tx_angles = curves[rx_angles_deg[0]][:, 0]
+    for i, tx in enumerate(tx_angles):
+        row = {"tx_angle_deg": float(tx)}
+        for rx in rx_angles_deg:
+            row[f"leakage_rx{int(rx)}_db"] = float(curves[rx][i, 1])
+        report.add_row(**row)
+
+    all_values = np.concatenate([c[:, 1] for c in curves.values()])
+    swings = {rx: float(c[:, 1].max() - c[:, 1].min()) for rx, c in curves.items()}
+    max_swing = max(swings.values())
+    report.note(
+        "per-RX-angle swing: "
+        + ", ".join(f"rx={rx:.0f}: {s:.1f} dB" for rx, s in swings.items())
+    )
+    report.check(
+        "leakage lies in the -80..-50 dB range",
+        -85.0 <= float(all_values.min()) and float(all_values.max()) <= -45.0,
+        f"range [{all_values.min():.1f}, {all_values.max():.1f}] dB",
+    )
+    report.check(
+        "leakage varies strongly with TX angle (paper: up to ~20 dB)",
+        max_swing >= 8.0,
+        f"max swing {max_swing:.1f} dB",
+    )
+    if len(rx_angles_deg) >= 2:
+        a, b = rx_angles_deg[0], rx_angles_deg[1]
+        difference = float(np.max(np.abs(curves[a][:, 1] - curves[b][:, 1])))
+        report.check(
+            "the leakage curve depends on the RX angle",
+            difference >= 2.0,
+            f"max curve-to-curve difference {difference:.1f} dB",
+        )
+    return report

@@ -1,0 +1,164 @@
+"""Experiment harness: reports, tables, and paper-shape checks.
+
+Every experiment module returns a :class:`ExperimentReport` carrying
+the raw rows (one dict per table row / CDF point), free-form notes,
+and a list of :class:`ShapeCheck` results — assertions that the
+*shape* of the reproduced figure matches the paper's qualitative
+claims (who wins, by roughly what factor), which is the reproduction
+contract recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim from the paper, verified against our data."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim} — {self.detail}"
+
+
+@dataclass
+class ExperimentReport:
+    """The output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    checks: List[ShapeCheck] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **fields: object) -> None:
+        self.rows.append(dict(fields))
+
+    def check(self, claim: str, passed: bool, detail: str) -> ShapeCheck:
+        result = ShapeCheck(claim=claim, passed=bool(passed), detail=detail)
+        self.checks.append(result)
+        return result
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failed_checks(self) -> List[ShapeCheck]:
+        return [c for c in self.checks if not c.passed]
+
+    # -- rendering --------------------------------------------------------
+
+    def format_table(self, max_rows: Optional[int] = None) -> str:
+        """Render rows as a fixed-width text table."""
+        if not self.rows:
+            return "(no rows)"
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        columns = list(rows[0].keys())
+        rendered: List[List[str]] = []
+        for row in rows:
+            rendered.append([_format_cell(row.get(c)) for c in columns])
+        widths = [
+            max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+        ]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+        separator = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r))
+            for r in rendered
+        ]
+        suffix = []
+        if max_rows is not None and len(self.rows) > max_rows:
+            suffix.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join([header, separator] + body + suffix)
+
+    def format_report(self, max_rows: Optional[int] = None) -> str:
+        """Full human-readable report: table, notes, shape checks."""
+        lines = [f"=== {self.experiment_id}: {self.title} ===", ""]
+        lines.append(self.format_table(max_rows))
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {n}" for n in self.notes)
+        if self.checks:
+            lines.append("")
+            lines.append("shape checks vs the paper:")
+            lines.extend(f"  {c}" for c in self.checks)
+        return "\n".join(lines)
+
+    def print_report(self, max_rows: Optional[int] = None) -> None:
+        print(self.format_report(max_rows))
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dictionary (used by the CLI's ``--json`` flag)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [dict(r) for r in self.rows],
+            "notes": list(self.notes),
+            "checks": [
+                {"claim": c.claim, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "all_checks_pass": self.all_checks_pass,
+        }
+
+    def save_json(self, path: str) -> None:
+        """Write the report as strict JSON.
+
+        Non-finite floats (dark-link SNRs are legitimately ``-inf``)
+        are stringified, since strict JSON has no representation for
+        them and ``Infinity`` tokens break non-Python consumers.
+        """
+        import json
+        import math
+
+        def sanitize(value: object) -> object:
+            if isinstance(value, float) and not math.isfinite(value):
+                return str(value)
+            if isinstance(value, dict):
+                return {k: sanitize(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [sanitize(v) for v in value]
+            return value
+
+        with open(path, "w") as handle:
+            json.dump(sanitize(self.to_dict()), handle, indent=2, allow_nan=False)
+
+    @classmethod
+    def load_json(cls, path: str) -> "ExperimentReport":
+        """Load a report saved by :meth:`save_json`."""
+        import json
+
+        with open(path) as handle:
+            data = json.load(handle)
+        report = cls(experiment_id=data["experiment_id"], title=data["title"])
+        for row in data["rows"]:
+            report.add_row(**row)
+        for note in data["notes"]:
+            report.note(note)
+        for check in data["checks"]:
+            report.check(check["claim"], check["passed"], check["detail"])
+        return report
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000.0 or (value != 0.0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

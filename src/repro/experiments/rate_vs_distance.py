@@ -1,0 +1,111 @@
+"""Supplementary experiment: data rate vs distance, direct vs via MoVR.
+
+A link-planning curve the paper implies but never plots: how far from
+the AP can the headset roam before the direct link drops below the VR
+rate, and how much range does a far-corner reflector add?  The sweep
+runs in a 18 m x 18 m hall (a warehouse-scale VR arena — the 5 m x 5 m
+office never stresses the link budget), using the goodput physics
+(BER -> FER -> goodput), so MCS transitions show as a staircase.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.controller import MoVRSystem
+from repro.core.reflector import MoVRReflector
+from repro.experiments.harness import ExperimentReport
+from repro.geometry.room import rectangular_room
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.link.radios import DEFAULT_RADIO_CONFIG, HEADSET_RADIO_CONFIG, Radio
+from repro.phy.ber import best_goodput_mbps
+from repro.phy.channel import MmWaveChannel
+from repro.utils.rng import RngLike, child_rng, make_rng
+from repro.vr.traffic import DEFAULT_TRAFFIC
+
+HALL_SIZE_M = 18.0
+
+
+def run_rate_vs_distance(
+    num_steps: int = 14,
+    seed: RngLike = None,
+) -> ExperimentReport:
+    """Sweep the headset along the hall diagonal; report goodput."""
+    if num_steps < 3:
+        raise ValueError("num_steps must be >= 3")
+    rng = make_rng(seed)
+    room = rectangular_room(HALL_SIZE_M, HALL_SIZE_M, name="vr-hall")
+    center = Vec2(HALL_SIZE_M / 2.0, HALL_SIZE_M / 2.0)
+    ap = Radio(Vec2(0.3, 0.3), boresight_deg=45.0, config=DEFAULT_RADIO_CONFIG)
+    far_corner = Vec2(HALL_SIZE_M - 0.3, HALL_SIZE_M - 0.3)
+    reflector = MoVRReflector(
+        far_corner, boresight_deg=bearing_deg(far_corner, center), name="movr-far"
+    )
+    system = MoVRSystem(
+        room,
+        ap,
+        [reflector],
+        channel=MmWaveChannel(shadowing_sigma_db=0.0),
+        rng=child_rng(rng, 0),
+    )
+    system.calibrate_reflector_gains()
+    required = DEFAULT_TRAFFIC.required_rate_mbps
+
+    report = ExperimentReport(
+        experiment_id="ext-rate-distance",
+        title=f"Goodput vs distance in a {HALL_SIZE_M:.0f} m hall",
+    )
+    direction = Vec2(1.0, 1.0).normalized()
+    distances = np.linspace(1.2, 24.0, num_steps)
+    direct_ok: List[bool] = []
+    movr_ok: List[bool] = []
+    for distance in distances:
+        position = ap.position + direction * float(distance)
+        headset = Radio(
+            position,
+            boresight_deg=bearing_deg(position, ap.position),
+            config=HEADSET_RADIO_CONFIG,
+        )
+        direct_snr = system.direct_link(headset).snr_db
+        direct_goodput = best_goodput_mbps(direct_snr)
+        relay = system.best_relay(headset)
+        movr_snr = relay.end_to_end_snr_db if relay is not None else float("-inf")
+        movr_goodput = (
+            best_goodput_mbps(movr_snr) if np.isfinite(movr_snr) else 0.0
+        )
+        direct_ok.append(direct_goodput >= required)
+        movr_ok.append(max(direct_goodput, movr_goodput) >= required)
+        report.add_row(
+            distance_m=float(distance),
+            direct_snr_db=direct_snr,
+            direct_goodput_gbps=direct_goodput / 1000.0,
+            movr_snr_db=movr_snr,
+            movr_goodput_gbps=movr_goodput / 1000.0,
+            vr_ok_direct=bool(direct_ok[-1]),
+            vr_ok_with_movr=bool(movr_ok[-1]),
+        )
+
+    goodputs = [row["direct_goodput_gbps"] for row in report.rows]
+    report.check(
+        "direct goodput decreases (staircase) with distance",
+        all(b <= a + 0.05 for a, b in zip(goodputs, goodputs[1:])),
+        "monotone within one MCS step",
+    )
+    report.check(
+        "the direct link loses the VR rate somewhere in the hall",
+        not all(direct_ok),
+        f"direct OK at {sum(direct_ok)}/{len(direct_ok)} distances",
+    )
+    report.check(
+        "the reflector restores VR coverage at the far end",
+        all(movr_ok[-3:]),
+        "far-corner reflector serves the last sweep positions",
+    )
+    report.check(
+        "MoVR strictly extends VR range vs the bare link",
+        sum(movr_ok) > sum(direct_ok),
+        f"{sum(movr_ok)} vs {sum(direct_ok)} covered distances",
+    )
+    return report

@@ -1,0 +1,167 @@
+"""The shared simulated testbed: the paper's 5 m x 5 m office.
+
+Reproduces the section 5 deployment: the PC/AP in one corner, a MoVR
+reflector in the opposite corner, a headset placed at random poses,
+and the three blockage scenarios of section 3 (hand, own head, passing
+person).  Every experiment draws its scenes from here so the figures
+share one physical world.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import MoVRSystem
+from repro.core.reflector import MoVRReflector
+from repro.geometry.bodies import (
+    hand_occluder,
+    person_blocking_path,
+    self_head_blocking,
+)
+from repro.geometry.room import Occluder, Room, standard_office
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.link.radios import DEFAULT_RADIO_CONFIG, HEADSET_RADIO_CONFIG, Radio
+from repro.phy.channel import MmWaveChannel
+from repro.utils.rng import RngLike, make_rng
+
+#: Room dimensions of the paper's testbed.
+ROOM_SIZE_M = 5.0
+
+#: Keep placements this far from walls and from the AP.  Room-scale VR
+#: players stand at play distance from the PC corner, not on top of it;
+#: the 2 m minimum also keeps the far-field antenna model valid.
+PLACEMENT_MARGIN_M = 0.8
+MIN_AP_DISTANCE_M = 2.0
+
+
+class BlockageScenario(enum.Enum):
+    """The section 3 measurement scenarios."""
+
+    LOS = "los"
+    HAND = "hand"
+    HEAD = "head"
+    BODY = "body"
+
+    @property
+    def label(self) -> str:
+        return {
+            BlockageScenario.LOS: "LOS",
+            BlockageScenario.HAND: "LOS blocked by hand",
+            BlockageScenario.HEAD: "LOS blocked by head",
+            BlockageScenario.BODY: "LOS blocked by body",
+        }[self]
+
+
+#: The blocking scenarios (everything except unobstructed LOS).
+BLOCKING_SCENARIOS: Tuple[BlockageScenario, ...] = (
+    BlockageScenario.HAND,
+    BlockageScenario.HEAD,
+    BlockageScenario.BODY,
+)
+
+
+@dataclass
+class Testbed:
+    """One fully wired simulation scene."""
+
+    room: Room
+    system: MoVRSystem
+    rng: np.random.Generator
+
+    @property
+    def ap(self) -> Radio:
+        return self.system.ap
+
+    @property
+    def reflector(self) -> MoVRReflector:
+        return self.system.reflectors[0]
+
+    # -- placements -------------------------------------------------------
+
+    def random_headset(self, min_ap_distance_m: float = MIN_AP_DISTANCE_M) -> Radio:
+        """A headset radio at a random valid pose.
+
+        Placements avoid walls, furniture, and the AP's immediate
+        vicinity, matching "we place the headset in a random location
+        that has a line-of-sight to the transmitter".
+        """
+        for _ in range(1000):
+            position = Vec2(
+                float(self.rng.uniform(PLACEMENT_MARGIN_M, ROOM_SIZE_M - PLACEMENT_MARGIN_M)),
+                float(self.rng.uniform(PLACEMENT_MARGIN_M, ROOM_SIZE_M - PLACEMENT_MARGIN_M)),
+            )
+            if position.distance_to(self.ap.position) < min_ap_distance_m:
+                continue
+            if any(occ.contains(position) for occ in self.room.occluders):
+                continue
+            los = self.system.tracer.line_of_sight(self.ap.position, position)
+            if los.is_obstructed:
+                continue  # require LOS, as the paper's placements do
+            yaw = float(self.rng.uniform(-180.0, 180.0))
+            return Radio(position, boresight_deg=yaw, config=HEADSET_RADIO_CONFIG, name="headset")
+        raise RuntimeError("could not find a valid headset placement")
+
+    # -- blockage ---------------------------------------------------------
+
+    def blockage_occluders(
+        self,
+        scenario: BlockageScenario,
+        headset: Radio,
+    ) -> List[Occluder]:
+        """Occluders realizing a section 3 scenario for a headset pose."""
+        if scenario is BlockageScenario.LOS:
+            return []
+        toward_ap = bearing_deg(headset.position, self.ap.position)
+        if scenario is BlockageScenario.HAND:
+            reach = float(self.rng.uniform(0.2, 0.35))
+            return [hand_occluder(headset.position, toward_ap, reach_m=reach)]
+        if scenario is BlockageScenario.HEAD:
+            return [self_head_blocking(headset.position, self.ap.position)]
+        fraction = float(self.rng.uniform(0.3, 0.7))
+        person = person_blocking_path(self.ap.position, headset.position, fraction)
+        return person.occluders()
+
+
+def default_testbed(
+    seed: RngLike = None,
+    furnished: bool = True,
+    num_reflectors: int = 1,
+    shadowing_sigma_db: float = 2.0,
+    calibrate_gains: bool = True,
+) -> Testbed:
+    """Build the paper's deployment: AP in the SW corner, reflector(s)
+    on the far walls, log-normal shadowing for run-to-run spread."""
+    rng = make_rng(seed)
+    room = standard_office(furnished=furnished)
+    center = Vec2(ROOM_SIZE_M / 2.0, ROOM_SIZE_M / 2.0)
+    ap_position = Vec2(0.3, 0.3)
+    ap = Radio(
+        ap_position,
+        boresight_deg=bearing_deg(ap_position, center),
+        config=DEFAULT_RADIO_CONFIG,
+        name="mmwave-ap",
+    )
+    reflector_spots = [
+        Vec2(ROOM_SIZE_M - 0.3, ROOM_SIZE_M - 0.3),  # opposite corner (the paper)
+        Vec2(ROOM_SIZE_M - 0.3, 0.3),
+        Vec2(0.3, ROOM_SIZE_M - 0.3),
+    ]
+    if not 1 <= num_reflectors <= len(reflector_spots):
+        raise ValueError(f"num_reflectors must be 1..{len(reflector_spots)}")
+    reflectors = [
+        MoVRReflector(
+            spot,
+            boresight_deg=bearing_deg(spot, center),
+            name=f"movr{i}",
+        )
+        for i, spot in enumerate(reflector_spots[:num_reflectors])
+    ]
+    channel = MmWaveChannel(shadowing_sigma_db=shadowing_sigma_db, rng=rng)
+    system = MoVRSystem(room, ap, reflectors, channel=channel, rng=rng)
+    if calibrate_gains:
+        system.calibrate_reflector_gains()
+    return Testbed(room=room, system=system, rng=rng)

@@ -1,0 +1,175 @@
+"""Variable-gain amplifier model with saturation and current draw.
+
+The MoVR prototype builds its variable-gain stage from a Quinstar LNA,
+a voltage-variable attenuator (HMC712), and a Hittite HMC-C020 power
+amplifier.  Two behaviours of that chain are load-bearing for the
+paper's algorithms and are modeled here:
+
+1. **Compression/saturation** — output power cannot exceed ``psat``;
+   near saturation the amplifier distorts and, inside the reflector's
+   feedback loop, produces "garbage signals" (section 4.2).
+2. **Supply current vs. operating point** — the DC current rises
+   sharply as the amplifier approaches saturation.  This is the side
+   channel MoVR's gain controller senses with its INA169 current
+   monitor instead of a receive chain.
+
+The module also provides the positive-feedback loop algebra of
+Fig. 6(b): closed-loop gain and the ``G < L`` stability criterion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import (
+    require_finite,
+    require_non_negative,
+    require_positive,
+)
+
+
+@dataclass(frozen=True)
+class AmplifierSpec:
+    """Datasheet-level description of a variable-gain amplifier chain."""
+
+    min_gain_db: float = 0.0
+    max_gain_db: float = 60.0
+    gain_step_db: float = 0.5
+    noise_figure_db: float = 4.5
+    output_p1db_dbm: float = 15.0
+    psat_dbm: float = 18.0
+    quiescent_current_ma: float = 120.0
+    saturation_current_ma: float = 380.0
+
+    def __post_init__(self) -> None:
+        require_finite(self.min_gain_db, "min_gain_db")
+        if self.max_gain_db <= self.min_gain_db:
+            raise ValueError("max_gain_db must exceed min_gain_db")
+        require_positive(self.gain_step_db, "gain_step_db")
+        require_non_negative(self.noise_figure_db, "noise_figure_db")
+        if self.psat_dbm < self.output_p1db_dbm:
+            raise ValueError("psat_dbm must be >= output_p1db_dbm")
+        require_positive(self.quiescent_current_ma, "quiescent_current_ma")
+        if self.saturation_current_ma <= self.quiescent_current_ma:
+            raise ValueError("saturation_current_ma must exceed quiescent_current_ma")
+
+
+#: Parameters approximating the prototype's HMC-C020 + QLW-2440 chain.
+MOVR_AMPLIFIER = AmplifierSpec()
+
+
+class VariableGainAmplifier:
+    """A settable-gain amplifier with soft compression.
+
+    Gain commands are quantized to ``gain_step_db`` (the DAC driving
+    the analog attenuator has finite resolution) and clipped to the
+    spec's range.
+    """
+
+    def __init__(self, spec: AmplifierSpec = MOVR_AMPLIFIER) -> None:
+        self.spec = spec
+        self._gain_db = spec.min_gain_db
+
+    @property
+    def gain_db(self) -> float:
+        """The currently commanded (small-signal) gain."""
+        return self._gain_db
+
+    def set_gain_db(self, gain_db: float) -> float:
+        """Command a gain; returns the achieved (quantized) value."""
+        require_finite(gain_db, "gain_db")
+        clipped = max(self.spec.min_gain_db, min(self.spec.max_gain_db, gain_db))
+        steps = round((clipped - self.spec.min_gain_db) / self.spec.gain_step_db)
+        self._gain_db = self.spec.min_gain_db + steps * self.spec.gain_step_db
+        self._gain_db = min(self._gain_db, self.spec.max_gain_db)
+        return self._gain_db
+
+    def step_gain(self, steps: int = 1) -> float:
+        """Step the gain up or down by whole DAC steps."""
+        return self.set_gain_db(self._gain_db + steps * self.spec.gain_step_db)
+
+    # -- large-signal behaviour ----------------------------------------
+
+    def output_power_dbm(self, input_dbm: float, gain_db: Optional[float] = None) -> float:
+        """Output power with soft (Rapp-style) compression toward psat.
+
+        Linear for small signals; saturates smoothly at ``psat_dbm``.
+        """
+        g = self._gain_db if gain_db is None else gain_db
+        linear_out_dbm = input_dbm + g
+        psat = self.spec.psat_dbm
+        # Rapp model in the power domain with smoothness p=2.
+        p = 2.0
+        lin = 10.0 ** (linear_out_dbm / 10.0)
+        sat = 10.0 ** (psat / 10.0)
+        out = lin / (1.0 + (lin / sat) ** p) ** (1.0 / p)
+        return 10.0 * math.log10(out)
+
+    def compression_db(self, input_dbm: float, gain_db: Optional[float] = None) -> float:
+        """How many dB below linear the output currently is."""
+        g = self._gain_db if gain_db is None else gain_db
+        return (input_dbm + g) - self.output_power_dbm(input_dbm, g)
+
+    def is_saturated(self, input_dbm: float, gain_db: Optional[float] = None) -> bool:
+        """Compressing by more than 1 dB counts as saturated."""
+        return self.compression_db(input_dbm, gain_db) > 1.0
+
+    def current_draw_ma(self, output_dbm: float) -> float:
+        """DC supply current at a given output power.
+
+        Flat at the quiescent level for small signals, rising
+        exponentially as output approaches ``psat`` — the knee MoVR's
+        gain controller detects.  ``output_dbm`` above psat (possible
+        only transiently in an unstable loop) pins the current at the
+        saturation value.
+        """
+        span = self.spec.saturation_current_ma - self.spec.quiescent_current_ma
+        rise = 10.0 ** ((output_dbm - self.spec.psat_dbm) / 10.0)
+        return self.spec.quiescent_current_ma + span * min(1.0, rise)
+
+
+# ----------------------------------------------------------------------
+# Positive-feedback loop algebra (Fig. 6(b) of the paper)
+# ----------------------------------------------------------------------
+
+
+def loop_is_stable(gain_db: float, leakage_db: float) -> bool:
+    """Stability criterion of the reflector's feedback loop.
+
+    ``leakage_db`` is the TX-to-RX coupling *gain* and is negative
+    (e.g. -60 dB).  The loop is stable iff the loop gain
+    ``gain_db + leakage_db`` is below 0 dB — equivalently, the
+    amplifier gain must be smaller than the leakage attenuation
+    ``|leakage_db|`` (the paper's ``G_dB - L_dB < 0``).
+    """
+    require_finite(gain_db, "gain_db")
+    require_finite(leakage_db, "leakage_db")
+    return gain_db + leakage_db < 0.0
+
+
+def closed_loop_gain_db(gain_db: float, leakage_db: float) -> float:
+    """Closed-loop gain of the reflector including feedback peaking.
+
+    With forward amplitude gain ``g`` and feedback amplitude ``l``:
+    ``out = g / (1 - g*l) * in``, so the closed-loop power gain is
+    ``G - 20*log10(1 - 10^((G+L)/20))`` dB.  As the loop gain
+    approaches 0 dB, the closed-loop gain diverges — in hardware the
+    amplifier saturates instead, which is exactly the failure the gain
+    controller must avoid.
+
+    Raises ``ValueError`` for an unstable configuration.
+    """
+    if not loop_is_stable(gain_db, leakage_db):
+        raise ValueError(
+            f"feedback loop unstable: gain {gain_db:.1f} dB >= leakage "
+            f"attenuation {-leakage_db:.1f} dB"
+        )
+    loop_amplitude = 10.0 ** ((gain_db + leakage_db) / 20.0)
+    return gain_db - 20.0 * math.log10(1.0 - loop_amplitude)
+
+
+def feedback_peaking_db(gain_db: float, leakage_db: float) -> float:
+    """Extra gain (and extra output power) contributed by the loop."""
+    return closed_loop_gain_db(gain_db, leakage_db) - gain_db

@@ -1,0 +1,28 @@
+"""802.11ad rate tables and rate adaptation."""
+
+from repro.rate.adaptation import RateAdapter, outage_fraction
+from repro.rate.mcs import (
+    MAX_RATE_MBPS,
+    MCS_TABLE,
+    SENSITIVITY_TO_SNR_DB,
+    Mcs,
+    PhyType,
+    best_mcs_for_snr,
+    data_rate_mbps_for_snr,
+    mcs_by_index,
+    required_snr_db_for_rate,
+)
+
+__all__ = [
+    "RateAdapter",
+    "outage_fraction",
+    "MAX_RATE_MBPS",
+    "MCS_TABLE",
+    "SENSITIVITY_TO_SNR_DB",
+    "Mcs",
+    "PhyType",
+    "best_mcs_for_snr",
+    "data_rate_mbps_for_snr",
+    "mcs_by_index",
+    "required_snr_db_for_rate",
+]

@@ -1,0 +1,102 @@
+"""Rate adaptation: choosing an MCS from a noisy SNR time series.
+
+VR traffic is non-elastic (the paper, section 1): the link either sustains
+the required rate or the frame glitches.  The adapter therefore runs
+with a protection margin and hysteresis — it steps *down* immediately
+when the SNR dips below the current MCS's threshold but steps *up*
+only after the SNR has held above the next threshold for a dwell
+period, avoiding rate flapping around a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.rate.mcs import MCS_TABLE, Mcs, PhyType, best_mcs_for_snr
+from repro.utils.validation import require_non_negative
+
+
+@dataclass
+class RateAdapter:
+    """Hysteresis-based 802.11ad rate adaptation.
+
+    ``margin_db`` protects against SNR estimation error; ``up_dwell``
+    is how many consecutive observations must clear the next MCS's
+    threshold (plus margin) before stepping up.
+    """
+
+    margin_db: float = 2.0
+    up_dwell: int = 3
+    phys: Sequence[PhyType] = (PhyType.CONTROL, PhyType.SINGLE_CARRIER, PhyType.OFDM)
+    _current: Optional[Mcs] = field(default=None, init=False)
+    _up_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.margin_db, "margin_db")
+        if self.up_dwell < 1:
+            raise ValueError("up_dwell must be >= 1")
+
+    @property
+    def current_mcs(self) -> Optional[Mcs]:
+        return self._current
+
+    @property
+    def current_rate_mbps(self) -> float:
+        return 0.0 if self._current is None else self._current.data_rate_mbps
+
+    def observe(self, snr_db: float) -> Optional[Mcs]:
+        """Feed one SNR observation; returns the MCS now in use."""
+        target = best_mcs_for_snr(snr_db, phys=self.phys, margin_db=self.margin_db)
+        if target is None:
+            # Outage: drop everything immediately.
+            self._current = None
+            self._up_count = 0
+            return None
+        if self._current is None or target.data_rate_mbps < self._current.data_rate_mbps:
+            # Never linger above what the channel supports.
+            if self._current is None:
+                self._current = target
+                self._up_count = 0
+            elif target.data_rate_mbps < self._current.data_rate_mbps:
+                self._current = target
+                self._up_count = 0
+            return self._current
+        if target.data_rate_mbps > self._current.data_rate_mbps:
+            self._up_count += 1
+            if self._up_count >= self.up_dwell:
+                self._current = target
+                self._up_count = 0
+        else:
+            self._up_count = 0
+        return self._current
+
+    def run(self, snr_series_db: Sequence[float]) -> List[float]:
+        """Run over a whole SNR trace; returns the per-step rate in Mbps."""
+        rates = []
+        for snr in snr_series_db:
+            self.observe(snr)
+            rates.append(self.current_rate_mbps)
+        return rates
+
+    def reset(self) -> None:
+        self._current = None
+        self._up_count = 0
+
+
+def outage_fraction(
+    snr_series_db: Sequence[float],
+    required_rate_mbps: float,
+    adapter: Optional[RateAdapter] = None,
+) -> float:
+    """Fraction of observations where the adapted rate misses the VR
+    requirement — the glitch metric of the end-to-end experiments."""
+    if not snr_series_db:
+        raise ValueError("empty SNR series")
+    if required_rate_mbps <= 0.0:
+        raise ValueError("required_rate_mbps must be positive")
+    adapter = adapter if adapter is not None else RateAdapter()
+    adapter.reset()
+    rates = adapter.run(snr_series_db)
+    misses = sum(1 for r in rates if r < required_rate_mbps)
+    return misses / len(rates)

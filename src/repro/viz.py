@@ -1,0 +1,158 @@
+"""Text-mode visualization: floor plans, beam patterns, CDFs.
+
+Terminal-friendly renderers for the objects people most want to *see*
+while working with the library — no plotting dependency required.
+Every renderer returns a string so it can be printed, logged, or
+asserted against in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.room import Occluder, Room
+from repro.geometry.shapes import AxisAlignedBox, Circle
+from repro.geometry.vectors import Vec2
+from repro.utils.stats import EmpiricalCdf
+from repro.utils.validation import require_int, require_positive
+
+
+def render_floor_plan(
+    room: Room,
+    markers: Optional[Sequence[Tuple[str, Vec2]]] = None,
+    extra_occluders: Sequence[Occluder] = (),
+    width_chars: int = 48,
+) -> str:
+    """ASCII floor plan with labeled markers.
+
+    ``markers`` is a list of ``(symbol, position)``; symbols should be
+    single characters (``A`` for the AP, ``R`` for a reflector, ``H``
+    for the headset...).  Occluders render as ``o`` (circles) or ``#``
+    (boxes).
+
+    >>> from repro.geometry.room import rectangular_room
+    >>> plan = render_floor_plan(rectangular_room(5.0, 5.0),
+    ...                          markers=[("A", Vec2(0.3, 0.3))])
+    >>> "A" in plan
+    True
+    """
+    require_int(width_chars, "width_chars", minimum=10)
+    box = room.bounding_box()
+    aspect = box.height / box.width
+    # Terminal cells are ~2x taller than wide.
+    height_chars = max(5, int(width_chars * aspect / 2.0))
+    grid = [[" " for _ in range(width_chars)] for _ in range(height_chars)]
+
+    def to_cell(point: Vec2) -> Tuple[int, int]:
+        fx = (point.x - box.min_corner.x) / box.width
+        fy = (point.y - box.min_corner.y) / box.height
+        col = min(width_chars - 1, max(0, int(fx * (width_chars - 1))))
+        row = min(height_chars - 1, max(0, int((1.0 - fy) * (height_chars - 1))))
+        return row, col
+
+    # Walls: sample each segment.
+    for wall in room.walls:
+        seg = wall.segment
+        steps = max(2, int(seg.length / box.width * width_chars * 2))
+        plain = wall.material.name in ("drywall", "concrete")
+        char = "." if plain else "="
+        for i in range(steps + 1):
+            row, col = to_cell(seg.point_at(i / steps))
+            # Fixtures (whiteboards, windows...) overdraw plain wall.
+            if grid[row][col] == " " or (char == "=" and grid[row][col] == "."):
+                grid[row][col] = char
+
+    # Occluders.
+    for occ in list(room.occluders) + list(extra_occluders):
+        if isinstance(occ, Circle):
+            row, col = to_cell(occ.center)
+            grid[row][col] = "o"
+        elif isinstance(occ, AxisAlignedBox):
+            lo_row, lo_col = to_cell(Vec2(occ.min_corner.x, occ.max_corner.y))
+            hi_row, hi_col = to_cell(Vec2(occ.max_corner.x, occ.min_corner.y))
+            for row in range(lo_row, hi_row + 1):
+                for col in range(lo_col, hi_col + 1):
+                    grid[row][col] = "#"
+
+    # Markers render last (on top).
+    for symbol, position in markers or ():
+        row, col = to_cell(position)
+        grid[row][col] = symbol[0]
+
+    border = "+" + "-" * width_chars + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def render_beam_pattern(
+    pattern: np.ndarray,
+    width_chars: int = 60,
+    floor_db: float = -40.0,
+) -> str:
+    """Bar-chart rendering of an antenna pattern cut.
+
+    ``pattern`` is the (angle, gain_dbi) array from
+    :meth:`PhasedArray.pattern`.  One row per sample (subsampled to
+    ~36 rows), bar length proportional to gain above ``floor_db``
+    relative to the peak.
+    """
+    require_positive(width_chars, "width_chars")
+    if pattern.ndim != 2 or pattern.shape[1] != 2:
+        raise ValueError("pattern must be an (n, 2) array of (angle, gain)")
+    peak = float(pattern[:, 1].max())
+    stride = max(1, pattern.shape[0] // 36)
+    lines = []
+    for angle, gain in pattern[::stride]:
+        rel = max(floor_db, float(gain) - peak)
+        frac = (rel - floor_db) / (-floor_db)
+        bar = "#" * int(frac * (width_chars - 20))
+        lines.append(f"{angle:8.1f} deg {gain:7.1f} dBi |{bar}")
+    return "\n".join(lines)
+
+
+def render_cdf(
+    cdf: EmpiricalCdf,
+    width_chars: int = 50,
+    num_rows: int = 12,
+    label: str = "",
+) -> str:
+    """Text rendering of an empirical CDF (probability rows, value bars)."""
+    require_int(num_rows, "num_rows", minimum=2)
+    lo, hi = cdf.minimum, cdf.maximum
+    span = hi - lo if hi > lo else 1.0
+    lines = [f"CDF {label}".rstrip()]
+    for i in range(num_rows):
+        p = (i + 1) / num_rows
+        value = cdf.percentile(p)
+        frac = (value - lo) / span
+        bar = "#" * int(frac * (width_chars - 1)) + "|"
+        lines.append(f"p{int(p * 100):3d} {value:9.2f} {bar}")
+    return "\n".join(lines)
+
+
+def render_snr_sweep(
+    angles_deg: Sequence[float],
+    snrs_db: Sequence[float],
+    width_chars: int = 50,
+    threshold_db: Optional[float] = None,
+) -> str:
+    """Angle-vs-SNR text plot, with an optional threshold marker column."""
+    if len(angles_deg) != len(snrs_db):
+        raise ValueError("angles and SNRs must have equal length")
+    if not angles_deg:
+        raise ValueError("empty sweep")
+    lo = min(snrs_db)
+    hi = max(snrs_db)
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for angle, snr in zip(angles_deg, snrs_db):
+        frac = (snr - lo) / span
+        bar = "#" * int(frac * (width_chars - 1))
+        marker = ""
+        if threshold_db is not None:
+            marker = "  [ok]" if snr >= threshold_db else "  [--]"
+        lines.append(f"{angle:8.1f} deg {snr:7.1f} dB |{bar}{marker}")
+    return "\n".join(lines)

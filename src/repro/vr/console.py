@@ -1,0 +1,68 @@
+"""The game console / PC node with its attached mmWave AP.
+
+In the paper's setup (Fig. 5) the PC renders frames and hands them to
+a mmWave AP placed next to it; the AP also runs the control side of
+MoVR's angle-search protocol over a Bluetooth side channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio, RadioConfig
+from repro.vr.traffic import DEFAULT_TRAFFIC, VrTrafficModel
+
+
+@dataclass(frozen=True)
+class ConsoleSpec:
+    """Rendering-side parameters (fixed in our experiments; listed for
+    completeness against the paper's testbed: i7, 16 GB, GTX 970)."""
+
+    render_latency_s: float = 0.003
+    name: str = "vr-pc"
+
+
+class GameConsole:
+    """The PC plus its mmWave AP."""
+
+    def __init__(
+        self,
+        ap_position: Vec2,
+        ap_boresight_deg: float,
+        radio_config: RadioConfig = DEFAULT_RADIO_CONFIG,
+        traffic: VrTrafficModel = DEFAULT_TRAFFIC,
+        spec: ConsoleSpec = ConsoleSpec(),
+    ) -> None:
+        self.spec = spec
+        self.traffic = traffic
+        self.ap = Radio(
+            position=ap_position,
+            boresight_deg=ap_boresight_deg,
+            config=radio_config,
+            name="mmwave-ap",
+        )
+
+    @property
+    def position(self) -> Vec2:
+        return self.ap.position
+
+    def aim_at(self, target: Vec2) -> float:
+        """Steer the AP beam at a scene point; returns achieved azimuth."""
+        return self.ap.point_at(target)
+
+    def bearing_to(self, target: Vec2) -> float:
+        return bearing_deg(self.ap.position, target)
+
+
+def corner_console(
+    room_width_m: float = 5.0,
+    room_depth_m: float = 5.0,
+    inset_m: float = 0.3,
+) -> GameConsole:
+    """A console in the room's south-west corner, AP facing the room
+    center — the placement used in the paper's SNR experiment."""
+    position = Vec2(inset_m, inset_m)
+    center = Vec2(room_width_m / 2.0, room_depth_m / 2.0)
+    return GameConsole(ap_position=position, ap_boresight_deg=bearing_deg(position, center))

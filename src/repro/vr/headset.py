@@ -1,0 +1,83 @@
+"""The VR headset node: pose, mounted mmWave receiver, link tracking.
+
+The headset carries the mmWave receiver on its faceplate (so the
+receiver's boresight follows the player's facing direction — the root
+cause of the head-rotation blockage scenario in Fig. 2 of the paper) and
+exposes the pose stream that the VR system's inside-out tracking
+provides, which section 6 proposes reusing for fast beam tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geometry.mobility import PoseSample
+from repro.geometry.vectors import Vec2
+from repro.link.radios import HEADSET_RADIO_CONFIG, Radio, RadioConfig
+from repro.vr.traffic import DEFAULT_TRAFFIC, VrTrafficModel
+
+#: Receiver mounting offset forward of the head center [m].
+RECEIVER_MOUNT_OFFSET_M = 0.10
+
+
+class Headset:
+    """A VR headset with a pose and a faceplate-mounted mmWave radio."""
+
+    def __init__(
+        self,
+        pose: PoseSample,
+        radio_config: RadioConfig = HEADSET_RADIO_CONFIG,
+        traffic: VrTrafficModel = DEFAULT_TRAFFIC,
+        name: str = "headset",
+    ) -> None:
+        self.traffic = traffic
+        self.name = name
+        self._radio_config = radio_config
+        self._pose = pose
+        self.radio = Radio(
+            position=pose.receiver_position(RECEIVER_MOUNT_OFFSET_M),
+            boresight_deg=pose.yaw_deg,
+            config=radio_config,
+            name=f"{name}-rx",
+        )
+
+    # -- pose -----------------------------------------------------------
+
+    @property
+    def pose(self) -> PoseSample:
+        return self._pose
+
+    def update_pose(self, pose: PoseSample) -> None:
+        """Apply a tracking update: moves and re-orients the receiver.
+
+        The electronic steering direction is preserved when the new
+        mounting orientation can still reach it, mirroring how an
+        on-headset beamformer compensates for head rotation.
+        """
+        self._pose = pose
+        self.radio.position = pose.receiver_position(RECEIVER_MOUNT_OFFSET_M)
+        self.radio.boresight_deg = pose.yaw_deg
+
+    @property
+    def position(self) -> Vec2:
+        """Head-center position (not the receiver position)."""
+        return self._pose.position
+
+    @property
+    def yaw_deg(self) -> float:
+        return self._pose.yaw_deg
+
+    @property
+    def receiver_position(self) -> Vec2:
+        return self.radio.position
+
+    # -- link requirements ------------------------------------------------
+
+    @property
+    def required_rate_mbps(self) -> float:
+        return self.traffic.required_rate_mbps
+
+    def link_supports_vr(self, rate_mbps: float) -> bool:
+        """Does a link rate meet this headset's requirement?"""
+        return rate_mbps >= self.required_rate_mbps

@@ -1,0 +1,63 @@
+"""Unit tests for the WiFi baseline."""
+
+import pytest
+
+from repro.baselines.wifi import (
+    BEST_CASE_WIFI,
+    DEFAULT_WIFI,
+    WifiConfig,
+    max_wifi_goodput_mbps,
+    wifi_can_carry_vr,
+    wifi_goodput_mbps,
+    wifi_phy_rate_mbps,
+)
+
+
+class TestWifiConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WifiConfig(bandwidth_mhz=60)
+        with pytest.raises(ValueError):
+            WifiConfig(spatial_streams=9)
+        with pytest.raises(ValueError):
+            WifiConfig(mac_efficiency=0.0)
+
+
+class TestRates:
+    def test_zero_below_mcs0(self):
+        assert wifi_phy_rate_mbps(-5.0) == 0.0
+
+    def test_rate_monotone_in_snr(self):
+        rates = [wifi_phy_rate_mbps(snr) for snr in range(0, 45, 5)]
+        assert rates == sorted(rates)
+
+    def test_80mhz_2ss_ceiling(self):
+        # VHT MCS9, 2 streams, 80 MHz = 780 Mbps PHY.
+        assert wifi_phy_rate_mbps(60.0, DEFAULT_WIFI) == pytest.approx(780.0)
+
+    def test_bandwidth_scales(self):
+        narrow = WifiConfig(bandwidth_mhz=40, spatial_streams=1)
+        wide = WifiConfig(bandwidth_mhz=160, spatial_streams=1)
+        assert wifi_phy_rate_mbps(60.0, wide) == pytest.approx(
+            4.0 * wifi_phy_rate_mbps(60.0, narrow)
+        )
+
+    def test_goodput_below_phy(self):
+        assert wifi_goodput_mbps(40.0) < wifi_phy_rate_mbps(40.0)
+
+
+class TestTheHeadlineClaim:
+    def test_wifi_cannot_carry_vr(self):
+        """The paper's premise: WiFi cannot support VR's multi-Gbps."""
+        assert not wifi_can_carry_vr(4000.0, DEFAULT_WIFI)
+
+    def test_even_best_case_wifi_fails(self):
+        assert not wifi_can_carry_vr(4000.0, BEST_CASE_WIFI)
+        assert max_wifi_goodput_mbps(BEST_CASE_WIFI) < 4000.0
+
+    def test_wifi_fine_for_ordinary_traffic(self):
+        assert wifi_can_carry_vr(100.0, DEFAULT_WIFI)
+
+    def test_rate_requirement_validated(self):
+        with pytest.raises(ValueError):
+            wifi_can_carry_vr(0.0)

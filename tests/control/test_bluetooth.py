@@ -1,0 +1,85 @@
+"""Unit tests for the BLE control-channel model."""
+
+import numpy as np
+import pytest
+
+from repro.control.bluetooth import BleConfig, BleLink
+
+
+class TestBleConfig:
+    def test_defaults_sane(self):
+        cfg = BleConfig()
+        assert cfg.connection_interval_s == pytest.approx(0.0075)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BleConfig(connection_interval_s=0.0)
+        with pytest.raises(ValueError):
+            BleConfig(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            BleConfig(max_retransmissions=-1)
+        with pytest.raises(ValueError):
+            BleConfig(payload_bytes_per_event=0)
+
+
+class TestDelivery:
+    def test_waits_for_connection_event(self):
+        link = BleLink(BleConfig(loss_rate=0.0, jitter_s=0.0), rng=0)
+        # Sent at 1 ms: next event at 7.5 ms, delivered one event later.
+        arrival = link.delivery_time_s(0.001)
+        assert arrival == pytest.approx(0.015)
+
+    def test_aligned_send(self):
+        link = BleLink(BleConfig(loss_rate=0.0, jitter_s=0.0), rng=0)
+        arrival = link.delivery_time_s(0.0075)
+        assert arrival == pytest.approx(0.015)
+
+    def test_large_message_needs_multiple_events(self):
+        cfg = BleConfig(loss_rate=0.0, jitter_s=0.0)
+        link = BleLink(cfg, rng=0)
+        small = link.delivery_time_s(0.0, 20)
+        large = link.delivery_time_s(0.0, 3 * cfg.payload_bytes_per_event)
+        assert large > small
+
+    def test_loss_adds_delay_on_average(self):
+        lossless = BleLink(BleConfig(loss_rate=0.0, jitter_s=0.0), rng=1)
+        lossy = BleLink(BleConfig(loss_rate=0.4, jitter_s=0.0), rng=1)
+        clean = np.mean([lossless.delivery_time_s(i * 0.1) - i * 0.1 for i in range(100)])
+        noisy = np.mean([lossy.delivery_time_s(i * 0.1) - i * 0.1 for i in range(100)])
+        assert noisy > clean
+        assert lossy.retransmissions > 0
+
+    def test_retransmission_budget_exhausts(self):
+        link = BleLink(BleConfig(loss_rate=0.999, max_retransmissions=3), rng=2)
+        with pytest.raises(ConnectionError):
+            for i in range(50):
+                link.delivery_time_s(float(i))
+
+    def test_message_bytes_validated(self):
+        link = BleLink(rng=0)
+        with pytest.raises(ValueError):
+            link.delivery_time_s(0.0, 0)
+
+    def test_round_trip_exceeds_one_way(self):
+        link = BleLink(BleConfig(loss_rate=0.0, jitter_s=0.0), rng=0)
+        rtt = link.round_trip_time_s(0.0)
+        assert rtt >= 2 * link.config.connection_interval_s
+
+    def test_expected_latency_analytic(self):
+        cfg = BleConfig(loss_rate=0.0, jitter_s=0.0)
+        link = BleLink(cfg, rng=3)
+        expected = link.expected_one_way_latency_s()
+        # Empirical mean over random send offsets.
+        measured = np.mean(
+            [
+                link.delivery_time_s(float(x)) - float(x)
+                for x in np.random.default_rng(0).uniform(0, 1, 300)
+            ]
+        )
+        assert measured == pytest.approx(expected, rel=0.1)
+
+    def test_counters(self):
+        link = BleLink(BleConfig(loss_rate=0.0), rng=0)
+        link.delivery_time_s(0.0)
+        link.delivery_time_s(1.0)
+        assert link.messages_sent == 2

@@ -1,0 +1,69 @@
+"""Unit tests for the airtime scheduler."""
+
+import pytest
+
+from repro.control.scheduler import (
+    AirtimeScheduler,
+    SearchImpact,
+    compare_search_strategies,
+)
+from repro.vr.traffic import VrTrafficModel
+
+
+class TestAirtimeScheduler:
+    def test_frame_airtime_includes_guard(self):
+        scheduler = AirtimeScheduler(guard_fraction=0.1)
+        raw = scheduler.traffic.frame_airtime_s(scheduler.link_rate_mbps)
+        assert scheduler.frame_airtime_s == pytest.approx(raw * 1.1)
+
+    def test_slack_positive_at_max_rate(self):
+        scheduler = AirtimeScheduler()
+        assert scheduler.slack_per_frame_s > 0.0
+
+    def test_zero_probes_zero_impact(self):
+        impact = AirtimeScheduler().search_impact(0)
+        assert impact.frames_lost == 0
+        assert impact.search_time_s == 0.0
+        assert not impact.disruptive
+
+    def test_small_burst_fits_in_slack(self):
+        scheduler = AirtimeScheduler()
+        budget = scheduler.max_probes_without_frame_loss()
+        assert budget > 0
+        assert scheduler.search_impact(budget).frames_lost == 0
+
+    def test_big_search_loses_frames(self):
+        scheduler = AirtimeScheduler()
+        impact = scheduler.search_impact(12_221)  # the paper's joint sweep
+        assert impact.frames_lost >= 3
+        assert impact.disruptive
+        assert impact.stall_s > 0.0
+
+    def test_loss_monotone_in_probes(self):
+        scheduler = AirtimeScheduler()
+        losses = [scheduler.search_impact(n).frames_lost for n in (0, 500, 5_000, 50_000)]
+        assert losses == sorted(losses)
+
+    def test_negative_probes_rejected(self):
+        with pytest.raises(ValueError):
+            AirtimeScheduler().search_impact(-1)
+
+    def test_slow_link_has_no_slack(self):
+        scheduler = AirtimeScheduler(link_rate_mbps=4200.0)
+        # Frame barely fits its deadline: no probe budget at all.
+        assert scheduler.max_probes_without_frame_loss() < 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AirtimeScheduler(link_rate_mbps=0.0)
+        with pytest.raises(ValueError):
+            AirtimeScheduler(probe_time_s=0.0)
+
+
+class TestCompareStrategies:
+    def test_rows(self):
+        rows = compare_search_strategies({"a": 10, "b": 20_000})
+        assert len(rows) == 2
+        by_name = {r["strategy"]: r for r in rows}
+        assert by_name["a"]["frames_lost"] <= by_name["b"]["frames_lost"]
+        assert by_name["b"]["search_time_ms"] > by_name["a"]["search_time_ms"]

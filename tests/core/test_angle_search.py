@@ -1,0 +1,139 @@
+"""Unit tests for the backscatter angle-search protocol (section 4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.angle_search import (
+    OOK_SIDEBAND_FRACTION,
+    BackscatterAngleSearch,
+    ReflectionAngleSearch,
+)
+from repro.core.reflector import MoVRReflector
+from repro.geometry.raytrace import RayTracer
+from repro.geometry.room import standard_office
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.link.radios import DEFAULT_RADIO_CONFIG, HEADSET_RADIO_CONFIG, Radio
+from repro.phy.channel import MmWaveChannel
+
+
+@pytest.fixture(scope="module")
+def scene():
+    room = standard_office(furnished=False)
+    tracer = RayTracer(room)
+    channel = MmWaveChannel()
+    ap = Radio(Vec2(0.3, 0.3), boresight_deg=45.0, config=DEFAULT_RADIO_CONFIG)
+    return room, tracer, channel, ap
+
+
+def make_search(scene, signal_level=False, rng=0, boresight_offset=15.0):
+    room, tracer, channel, ap = scene
+    position = Vec2(4.0, 4.2)
+    toward_ap = bearing_deg(position, ap.position)
+    reflector = MoVRReflector(position, boresight_deg=toward_ap + boresight_offset)
+    return BackscatterAngleSearch(
+        ap, reflector, tracer, channel, signal_level=signal_level, rng=rng
+    )
+
+
+class TestOokFraction:
+    def test_value(self):
+        assert OOK_SIDEBAND_FRACTION == pytest.approx(1.0 / math.pi**2)
+
+
+class TestRoundTripPower:
+    def test_peaks_at_true_angles(self, scene):
+        search = make_search(scene)
+        truth_refl = search.reflector.azimuth_to_prototype(
+            search._bearing_refl_to_ap
+        )
+        truth_ap = search._bearing_ap_to_refl
+        peak = search.round_trip_power_dbm(truth_ap, truth_refl)
+        for d_ap, d_refl in ((10.0, 0.0), (0.0, 10.0), (-15.0, 20.0)):
+            off = search.round_trip_power_dbm(truth_ap + d_ap, truth_refl + d_refl)
+            assert peak > off
+
+    def test_echo_is_weak_but_measurable(self, scene):
+        search = make_search(scene)
+        truth_refl = search.reflector.azimuth_to_prototype(
+            search._bearing_refl_to_ap
+        )
+        echo = search.round_trip_power_dbm(search._bearing_ap_to_refl, truth_refl)
+        # Far below the AP's own TX leakage (tx_power - 30 dB)...
+        assert echo < search.ap.config.tx_power_dbm - 30.0
+        # ...but above the sideband filter's noise floor.
+        assert echo + 10.0 * math.log10(OOK_SIDEBAND_FRACTION) > (
+            search._noise_in_band_dbm() + 10.0
+        )
+
+
+class TestEstimation:
+    def test_reference_estimate_accurate(self, scene):
+        search = make_search(scene, rng=1)
+        result = search.estimate_incidence_angle(
+            reflector_step_deg=2.0, ap_step_deg=3.0
+        )
+        assert result.reflector_error_deg <= 2.0
+
+    def test_fast_estimate_accurate(self, scene):
+        search = make_search(scene, rng=2)
+        result = search.estimate_incidence_angle_fast()
+        assert result.reflector_error_deg <= 1.0
+        assert result.num_probes > 10_000
+
+    def test_signal_level_estimate_accurate(self, scene):
+        search = make_search(scene, signal_level=True, rng=3)
+        result = search.estimate_incidence_angle(
+            reflector_step_deg=4.0, ap_step_deg=6.0
+        )
+        assert result.reflector_error_deg <= 4.0
+
+    def test_fast_and_reference_agree(self, scene):
+        """The vectorized sweep matches the sequential protocol."""
+        ref = make_search(scene, rng=4).estimate_incidence_angle(
+            reflector_step_deg=2.0, ap_step_deg=4.0
+        )
+        fast = make_search(scene, rng=5).estimate_incidence_angle_fast(
+            reflector_step_deg=2.0, ap_step_deg=4.0
+        )
+        assert abs(ref.reflector_angle_deg - fast.reflector_angle_deg) <= 2.0
+
+    def test_ap_angle_also_estimated(self, scene):
+        search = make_search(scene, rng=6)
+        result = search.estimate_incidence_angle_fast()
+        assert result.ap_error_deg <= 2.0
+
+    def test_leakage_rejected_in_signal_level_probe(self, scene):
+        """The AP's own leakage is 60+ dB above the echo, yet the
+        sideband measurement still resolves the echo: the OOK shift is
+        doing its job."""
+        search = make_search(scene, signal_level=True, rng=7)
+        truth_refl = search.reflector.azimuth_to_prototype(
+            search._bearing_refl_to_ap
+        )
+        aligned = search.measure_sideband_dbm(
+            search._bearing_ap_to_refl, truth_refl
+        )
+        misaligned = search.measure_sideband_dbm(
+            search._bearing_ap_to_refl + 20.0, truth_refl + 30.0
+        )
+        assert aligned > misaligned + 10.0
+
+
+class TestReflectionAngleSearch:
+    def test_outgoing_beam_estimated(self, scene):
+        room, tracer, channel, ap = scene
+        position = Vec2(4.0, 4.2)
+        toward_ap = bearing_deg(position, ap.position)
+        reflector = MoVRReflector(position, boresight_deg=toward_ap)
+        headset = Radio(
+            Vec2(2.0, 1.5), boresight_deg=0.0, config=HEADSET_RADIO_CONFIG
+        )
+        search = ReflectionAngleSearch(
+            ap, reflector, headset, tracer, channel, rng=8
+        )
+        result = search.estimate_reflection_angle(
+            reflector_step_deg=1.0, headset_step_deg=4.0
+        )
+        assert result.reflector_error_deg <= 2.0

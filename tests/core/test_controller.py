@@ -1,0 +1,157 @@
+"""Unit tests for the MoVR system controller."""
+
+import math
+
+import pytest
+
+from repro.core.controller import MoVRSystem
+from repro.core.reflector import MoVRReflector
+from repro.geometry.bodies import hand_occluder, person_blocking_path
+from repro.geometry.room import standard_office
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.link.radios import HEADSET_RADIO_CONFIG, Radio
+from repro.phy.channel import MmWaveChannel
+
+
+@pytest.fixture(scope="module")
+def system():
+    room = standard_office(furnished=False)
+    ap = Radio(Vec2(0.3, 0.3), boresight_deg=45.0, name="ap")
+    reflector = MoVRReflector(
+        Vec2(4.7, 4.7),
+        boresight_deg=bearing_deg(Vec2(4.7, 4.7), Vec2(2.5, 2.5)),
+        name="movr0",
+    )
+    sys = MoVRSystem(
+        room, ap, [reflector], channel=MmWaveChannel(shadowing_sigma_db=0.0)
+    )
+    sys.calibrate_reflector_gains()
+    return sys
+
+
+def headset_at(x, y, yaw=0.0):
+    return Radio(Vec2(x, y), boresight_deg=yaw, config=HEADSET_RADIO_CONFIG)
+
+
+class TestCalibration:
+    def test_gain_results_recorded(self, system):
+        results = system.gain_results
+        assert "movr0" in results
+        assert results["movr0"].final_gain_db > 40.0
+
+    def test_reflector_stable_after_calibration(self, system):
+        assert system.reflectors[0].is_stable()
+
+
+class TestDirectLink:
+    def test_healthy_at_midroom(self, system):
+        snr = system.direct_link(headset_at(2.5, 2.5)).snr_db
+        assert 20.0 < snr < 40.0
+
+    def test_blockage_collapses(self, system):
+        hs = headset_at(3.0, 3.0)
+        hand = hand_occluder(hs.position, bearing_deg(hs.position, Vec2(0.3, 0.3)))
+        clear = system.direct_link(hs).snr_db
+        blocked = system.direct_link(hs, extra_occluders=[hand]).snr_db
+        assert clear - blocked > 12.0
+
+
+class TestRelayLink:
+    def test_relay_budget_consistent(self, system):
+        hs = headset_at(2.0, 3.0)
+        m = system.relay_link(system.reflectors[0], hs)
+        assert m.stable
+        # End-to-end SNR cannot beat either hop.
+        assert m.end_to_end_snr_db <= min(m.first_hop_snr_db, m.second_hop_snr_db)
+        assert m.end_to_end_snr_db >= min(m.first_hop_snr_db, m.second_hop_snr_db) - 3.1
+
+    def test_relay_comparable_to_los(self, system):
+        """Paper section 5.2: MoVR delivers SNR comparable to (usually above)
+        the unblocked LOS."""
+        hs = headset_at(2.0, 3.0)
+        los = system.direct_link(hs).snr_db
+        relay = system.relay_link(system.reflectors[0], hs).end_to_end_snr_db
+        assert relay > los - 4.0
+
+    def test_elevated_feed_ignores_walking_person(self, system):
+        hs = headset_at(3.5, 3.6)
+        person = person_blocking_path(Vec2(0.3, 0.3), hs.position, 0.9)
+        clear = system.relay_link(system.reflectors[0], hs).end_to_end_snr_db
+        with_person = system.relay_link(
+            system.reflectors[0], hs, extra_occluders=person.occluders()
+        ).end_to_end_snr_db
+        assert with_person == pytest.approx(clear, abs=1.0)
+
+    def test_floor_mounting_is_blockable(self):
+        room = standard_office(furnished=False)
+        ap = Radio(Vec2(0.3, 0.3), boresight_deg=45.0)
+        reflector = MoVRReflector(
+            Vec2(4.7, 4.7), boresight_deg=bearing_deg(Vec2(4.7, 4.7), Vec2(2.5, 2.5))
+        )
+        sys = MoVRSystem(
+            room,
+            ap,
+            [reflector],
+            channel=MmWaveChannel(shadowing_sigma_db=0.0),
+            elevated_mounting=False,
+        )
+        sys.calibrate_reflector_gains()
+        hs = headset_at(3.5, 3.6)
+        person = person_blocking_path(Vec2(0.3, 0.3), hs.position, 0.9)
+        clear = sys.relay_link(reflector, hs).end_to_end_snr_db
+        blocked = sys.relay_link(
+            reflector, hs, extra_occluders=person.occluders()
+        ).end_to_end_snr_db
+        assert blocked < clear - 5.0
+
+    def test_hand_toward_reflector_blocks_second_hop(self, system):
+        hs = headset_at(2.0, 3.0)
+        toward_reflector = bearing_deg(hs.position, system.reflectors[0].position)
+        hand = hand_occluder(hs.position, toward_reflector)
+        clear = system.relay_link(system.reflectors[0], hs)
+        blocked = system.relay_link(
+            system.reflectors[0], hs, extra_occluders=[hand]
+        )
+        # The blockage lands squarely on the second hop...
+        assert blocked.second_hop_snr_db < clear.second_hop_snr_db - 10.0
+        # ...and degrades the end-to-end SNR (less than the full hop
+        # loss, because the first hop limits the harmonic combination).
+        assert blocked.end_to_end_snr_db < clear.end_to_end_snr_db - 4.0
+
+
+class TestDecide:
+    def test_prefers_los_when_healthy(self, system):
+        decision = system.decide(headset_at(2.5, 2.5))
+        assert decision.mode == "los"
+        assert decision.via is None
+        assert decision.connected
+
+    def test_hands_off_under_blockage(self, system):
+        hs = headset_at(3.0, 3.0)
+        hand = hand_occluder(hs.position, bearing_deg(hs.position, Vec2(0.3, 0.3)))
+        decision = system.decide(hs, extra_occluders=[hand])
+        assert decision.mode == "reflector"
+        assert decision.via == "movr0"
+        assert decision.rate_mbps >= 4000.0
+        assert decision.direct_snr_db < system.handoff_snr_db
+
+    def test_best_relay_none_when_unreachable(self, system):
+        # A headset the reflector cannot steer to (behind its wall) is
+        # geometrically impossible indoors; emulate by asking for a
+        # relay to a far-corner pose outside the scan range.
+        hs = headset_at(4.9, 4.9)
+        relay = system.best_relay(hs)
+        # Either unreachable (None) or served with finite SNR.
+        assert relay is None or math.isfinite(relay.end_to_end_snr_db)
+
+    def test_decision_reports_rate_from_snr(self, system):
+        decision = system.decide(headset_at(2.5, 2.5))
+        from repro.rate.mcs import data_rate_mbps_for_snr
+
+        assert decision.rate_mbps == data_rate_mbps_for_snr(decision.snr_db)
+
+    def test_handoff_threshold_validated(self):
+        room = standard_office(furnished=False)
+        ap = Radio(Vec2(0.3, 0.3), boresight_deg=45.0)
+        with pytest.raises(ValueError):
+            MoVRSystem(room, ap, [], handoff_snr_db=float("nan"))

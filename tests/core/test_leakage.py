@@ -1,0 +1,80 @@
+"""Unit tests for the reflector TX-to-RX leakage model (Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.leakage import (
+    BROADSIDE_DEG,
+    MAX_ANGLE_DEG,
+    MIN_ANGLE_DEG,
+    ReflectorLeakageModel,
+)
+
+angles = st.floats(min_value=MIN_ANGLE_DEG, max_value=MAX_ANGLE_DEG)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ReflectorLeakageModel()
+
+
+class TestLeakageValues:
+    def test_fig7_range(self, model):
+        """All leakage values live in the paper's -80..-50 dB window."""
+        grid = np.arange(MIN_ANGLE_DEG, MAX_ANGLE_DEG + 1, 5.0)
+        values = [model.leakage_db(tx, rx) for tx in grid for rx in grid]
+        assert min(values) >= -85.0
+        assert max(values) <= -45.0
+
+    def test_fig7_swing(self, model):
+        """Leakage varies strongly (paper: up to ~20 dB) with TX angle."""
+        curve = model.leakage_curve(rx_angle_deg=50.0)
+        swing = curve[:, 1].max() - curve[:, 1].min()
+        assert swing >= 8.0
+
+    def test_rx_angle_changes_curve(self, model):
+        a = model.leakage_curve(50.0)[:, 1]
+        b = model.leakage_curve(65.0)[:, 1]
+        assert np.max(np.abs(a - b)) >= 2.0
+
+    def test_board_isolation_floor(self, model):
+        grid = np.arange(MIN_ANGLE_DEG, MAX_ANGLE_DEG + 1, 2.0)
+        values = [model.leakage_db(tx, 50.0) for tx in grid]
+        assert min(values) >= -model.board_isolation_db - 1.0
+
+    def test_angle_domain_enforced(self, model):
+        with pytest.raises(ValueError):
+            model.leakage_db(30.0, 90.0)
+        with pytest.raises(ValueError):
+            model.leakage_db(90.0, 150.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(angles, angles)
+    def test_always_negative_coupling(self, tx, rx):
+        model = ReflectorLeakageModel()
+        assert model.leakage_db(tx, rx) < 0.0
+
+
+class TestWorstCase:
+    def test_worst_case_at_least_any_sample(self, model):
+        worst = model.worst_case_leakage_db()
+        for tx, rx in ((50.0, 50.0), (90.0, 90.0), (130.0, 70.0)):
+            assert worst >= model.leakage_db(tx, rx) - 1e-9
+
+    def test_worst_case_inside_fig7_window(self, model):
+        assert -60.0 <= model.worst_case_leakage_db() <= -45.0
+
+
+class TestCurve:
+    def test_curve_shape(self, model):
+        curve = model.leakage_curve(65.0, step_deg=1.0)
+        assert curve.shape == (101, 2)
+        assert curve[0, 0] == MIN_ANGLE_DEG
+        assert curve[-1, 0] == MAX_ANGLE_DEG
+
+    def test_configuration_validation(self):
+        with pytest.raises(ValueError):
+            ReflectorLeakageModel(antenna_separation_m=0.0)
+        with pytest.raises(ValueError):
+            ReflectorLeakageModel(grazing_angle_deg=60.0)

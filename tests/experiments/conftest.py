@@ -1,0 +1,22 @@
+"""Shared fixtures for the experiment integration tests.
+
+The testbed is expensive to build (gain calibration runs the
+current-sensing loop), so a single instance is shared across the whole
+test session.  Experiments must not mutate it beyond reflector beam
+state, which every entry point re-establishes.
+"""
+
+import pytest
+
+from repro.experiments.testbed import default_testbed
+
+
+@pytest.fixture(scope="session")
+def shared_testbed():
+    return default_testbed(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def quiet_testbed():
+    """A shadowing-free testbed for deterministic comparisons."""
+    return default_testbed(seed=1234, shadowing_sigma_db=0.0)

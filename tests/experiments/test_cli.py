@@ -1,0 +1,40 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(ALL_EXPERIMENTS)
+
+
+class TestRun:
+    def test_runs_fig7(self, capsys):
+        assert main(["run", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "[PASS]" in out
+
+    def test_runs_battery(self, capsys):
+        assert main(["run", "sec6-battery"]) == 0
+        out = capsys.readouterr().out
+        assert "battery" in out.lower()
+
+    def test_seed_accepted(self, capsys):
+        assert main(["run", "fig8", "--seed", "3", "--max-rows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,50 @@
+"""Integration tests for the two-player and handoff-threshold experiments."""
+
+import pytest
+
+from repro.experiments import run_ablation_handoff, run_two_players
+
+
+def assert_all_checks_pass(report):
+    failed = report.failed_checks
+    assert not failed, "failed shape checks:\n" + "\n".join(str(c) for c in failed)
+
+
+class TestTwoPlayers:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_two_players(num_pose_pairs=20, seed=3)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_row_per_pair(self, report):
+        assert len(report.rows) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_two_players(num_pose_pairs=0)
+
+
+class TestAblationHandoff:
+    @pytest.fixture(scope="class")
+    def report(self, shared_testbed):
+        # Needs channel shadowing: path flapping only appears when the
+        # SNR wobbles around the threshold (shared_testbed has 2 dB).
+        return run_ablation_handoff(duration_s=8.0, seed=5, testbed=shared_testbed)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_u_shape(self, report):
+        """Glitch rate is worst at the extremes, best near the default."""
+        by_threshold = {row["threshold_db"]: row for row in report.rows}
+        assert by_threshold[13.0]["glitch_rate"] <= by_threshold[5.0]["glitch_rate"]
+        assert by_threshold[13.0]["glitch_rate"] <= by_threshold[27.0]["glitch_rate"]
+
+    def test_threshold_restored(self, report, shared_testbed):
+        assert shared_testbed.system.handoff_snr_db == 13.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_ablation_handoff(duration_s=0.0)

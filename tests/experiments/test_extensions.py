@@ -1,0 +1,154 @@
+"""Integration tests for the extension experiments and ablations."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    run_ablation_gain,
+    run_ablation_search,
+    run_comparison,
+    run_e2e_session,
+    run_tracking_speed,
+)
+
+
+def assert_all_checks_pass(report):
+    failed = report.failed_checks
+    assert not failed, "failed shape checks:\n" + "\n".join(str(c) for c in failed)
+
+
+class TestTrackingSpeed:
+    @pytest.fixture(scope="class")
+    def report(self, quiet_testbed):
+        return run_tracking_speed(duration_s=4.0, seed=7, testbed=quiet_testbed)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_four_policies(self, report):
+        policies = {row["policy"] for row in report.rows}
+        assert policies == {"oracle", "full-search", "periodic-1s", "pose-assisted"}
+
+    def test_probe_ordering(self, report):
+        by_policy = {row["policy"]: row for row in report.rows}
+        assert (
+            by_policy["pose-assisted"]["total_probes"]
+            < by_policy["periodic-1s"]["total_probes"]
+            < by_policy["full-search"]["total_probes"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_tracking_speed(duration_s=0.0)
+
+
+class TestE2eSession:
+    @pytest.fixture(scope="class")
+    def report(self, quiet_testbed):
+        return run_e2e_session(duration_s=8.0, seed=5, testbed=quiet_testbed)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_movr_strictly_better(self, report):
+        by_system = {row["system"]: row for row in report.rows}
+        assert (
+            by_system["with MoVR"]["glitch_rate"]
+            < by_system["bare mmWave"]["glitch_rate"]
+        )
+
+    def test_frame_counts_match(self, report):
+        frames = {row["frames"] for row in report.rows}
+        assert len(frames) == 1  # same workload for both systems
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_e2e_session(duration_s=0.0)
+
+
+class TestAblationGain:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_ablation_gain(num_angle_pairs=30, seed=3)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_policy_ordering(self, report):
+        by_policy = {row["policy"]: row for row in report.rows}
+        assert (
+            by_policy["conservative"]["mean_effective_gain_db"]
+            < by_policy["adaptive"]["mean_effective_gain_db"]
+            <= by_policy["oracle"]["mean_effective_gain_db"] + 0.5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_ablation_gain(num_angle_pairs=0)
+
+
+class TestAblationSearch:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_ablation_search(num_runs=6, seed=21)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_hierarchical_cheapest(self, report):
+        by_strategy = {row["strategy"]: row for row in report.rows}
+        assert (
+            by_strategy["hierarchical"]["mean_probes"]
+            < by_strategy["exhaustive-3deg"]["mean_probes"]
+            < by_strategy["exhaustive-1deg"]["mean_probes"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_ablation_search(num_runs=0)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def report(self, shared_testbed):
+        return run_comparison(num_runs=9, seed=31, testbed=shared_testbed)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_six_approaches(self, report):
+        assert len(report.rows) == 6
+
+    def test_movr_top_coverage(self, report):
+        by_approach = {row["approach"]: row for row in report.rows}
+        best = max(row["vr_coverage_pct"] for row in report.rows)
+        assert by_approach["MoVR"]["vr_coverage_pct"] == best
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig3",
+            "fig7",
+            "fig8",
+            "fig9",
+            "sec6-battery",
+            "ext-tracking",
+            "ext-e2e",
+            "ext-prediction",
+            "ext-search-airtime",
+            "ext-two-players",
+            "ext-rate-distance",
+            "ext-latency",
+            "ext-apartment",
+            "ablation-gain",
+            "ablation-search",
+            "ablation-deployment",
+            "ablation-handoff",
+            "ablation-codebook",
+            "comparison",
+        }
+
+    def test_entries_callable(self):
+        for fn in ALL_EXPERIMENTS.values():
+            assert callable(fn)

@@ -1,0 +1,133 @@
+"""Integration tests: every paper figure reproduces its shape.
+
+These run the actual experiment entry points (at moderately reduced
+scale where the full scale is slow) and assert that every shape check
+— the encoded qualitative claims of the paper — passes.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig3,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_power_budget,
+)
+
+
+def assert_all_checks_pass(report):
+    failed = report.failed_checks
+    assert not failed, "failed shape checks:\n" + "\n".join(str(c) for c in failed)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def report(self, shared_testbed):
+        return run_fig3(num_placements=15, seed=77, testbed=shared_testbed)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_five_scenario_rows(self, report):
+        scenarios = [row["scenario"] for row in report.rows]
+        assert scenarios == [
+            "LOS",
+            "LOS blocked by hand",
+            "LOS blocked by head",
+            "LOS blocked by body",
+            "NLOS",
+        ]
+
+    def test_los_is_best(self, report):
+        by_scenario = {row["scenario"]: row for row in report.rows}
+        los = by_scenario["LOS"]["mean_snr_db"]
+        for label, row in by_scenario.items():
+            if label != "LOS":
+                assert row["mean_snr_db"] < los
+
+    def test_only_los_meets_vr(self, report):
+        for row in report.rows:
+            assert row["meets_vr_rate"] == (row["scenario"] == "LOS")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig3(num_placements=0)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fig7()
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_row_per_tx_angle(self, report):
+        assert len(report.rows) == 101
+        assert report.rows[0]["tx_angle_deg"] == 40.0
+        assert report.rows[-1]["tx_angle_deg"] == 140.0
+
+    def test_both_rx_angle_columns(self, report):
+        assert "leakage_rx50_db" in report.rows[0]
+        assert "leakage_rx65_db" in report.rows[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig7(tx_step_deg=0.0)
+        with pytest.raises(ValueError):
+            run_fig7(rx_angles_deg=[])
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fig8(num_runs=40, seed=42)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_row_per_run(self, report):
+        assert len(report.rows) == 40
+
+    def test_estimates_span_the_angle_range(self, report):
+        actuals = [row["actual_angle_deg"] for row in report.rows]
+        assert max(actuals) - min(actuals) > 40.0
+
+    def test_errors_within_two_degrees(self, report):
+        errors = sorted(row["error_deg"] for row in report.rows)
+        p90 = errors[int(0.9 * len(errors))]
+        assert p90 <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig8(num_runs=0)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def report(self, shared_testbed):
+        return run_fig9(num_runs=18, seed=99, testbed=shared_testbed)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_movr_beats_opt_nlos_everywhere(self, report):
+        for row in report.rows:
+            assert row["movr_improvement_db"] > row["opt_nlos_improvement_db"]
+
+    def test_movr_sustains_rate(self, report):
+        for row in report.rows:
+            assert row["movr_rate_gbps"] >= 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig9(num_runs=0)
+
+
+class TestPowerBudget:
+    def test_all_shape_checks_pass(self):
+        assert_all_checks_pass(run_power_budget())
+
+    def test_four_configurations(self):
+        assert len(run_power_budget().rows) == 4

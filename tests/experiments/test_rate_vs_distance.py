@@ -1,0 +1,34 @@
+"""Integration tests for the rate-vs-distance range study."""
+
+import pytest
+
+from repro.experiments import run_rate_vs_distance
+
+
+class TestRateVsDistance:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_rate_vs_distance(num_steps=10, seed=2)
+
+    def test_all_shape_checks_pass(self, report):
+        failed = report.failed_checks
+        assert not failed, "\n".join(str(c) for c in failed)
+
+    def test_direct_snr_monotone_decreasing(self, report):
+        snrs = [row["direct_snr_db"] for row in report.rows]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_movr_snr_grows_toward_reflector(self, report):
+        snrs = [row["movr_snr_db"] for row in report.rows]
+        assert snrs[-1] > snrs[0]
+
+    def test_crossover_exists(self, report):
+        """Close to the AP the direct path wins; at the far end the
+        reflector path wins."""
+        first, last = report.rows[0], report.rows[-1]
+        assert first["direct_snr_db"] > first["movr_snr_db"]
+        assert last["movr_snr_db"] > last["direct_snr_db"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_rate_vs_distance(num_steps=2)

@@ -1,0 +1,77 @@
+"""Unit tests for the shared experiment testbed."""
+
+import pytest
+
+from repro.experiments.testbed import (
+    BLOCKING_SCENARIOS,
+    MIN_AP_DISTANCE_M,
+    BlockageScenario,
+    default_testbed,
+)
+from repro.geometry.vectors import bearing_deg
+
+
+class TestDefaultTestbed:
+    def test_paper_layout(self, shared_testbed):
+        bed = shared_testbed
+        assert bed.ap.position.as_tuple() == (0.3, 0.3)
+        assert bed.reflector.position.as_tuple() == (4.7, 4.7)
+
+    def test_gains_calibrated(self, shared_testbed):
+        assert shared_testbed.system.gain_results
+        assert shared_testbed.reflector.is_stable()
+
+    def test_multiple_reflectors(self):
+        bed = default_testbed(seed=3, num_reflectors=2, calibrate_gains=False)
+        assert len(bed.system.reflectors) == 2
+        with pytest.raises(ValueError):
+            default_testbed(num_reflectors=4)
+
+    def test_reproducible(self):
+        a = default_testbed(seed=5, calibrate_gains=False)
+        b = default_testbed(seed=5, calibrate_gains=False)
+        ha = a.random_headset()
+        hb = b.random_headset()
+        assert ha.position == hb.position
+        assert ha.boresight_deg == hb.boresight_deg
+
+
+class TestPlacement:
+    def test_placements_valid(self, shared_testbed):
+        bed = shared_testbed
+        for _ in range(10):
+            headset = bed.random_headset()
+            assert bed.room.contains(headset.position, margin=0.5)
+            assert (
+                headset.position.distance_to(bed.ap.position)
+                >= MIN_AP_DISTANCE_M
+            )
+            los = bed.system.tracer.line_of_sight(
+                bed.ap.position, headset.position
+            )
+            assert not los.is_obstructed
+
+    def test_placements_vary(self, shared_testbed):
+        positions = {shared_testbed.random_headset().position for _ in range(5)}
+        assert len(positions) == 5
+
+
+class TestBlockageScenarios:
+    def test_los_scenario_empty(self, shared_testbed):
+        headset = shared_testbed.random_headset()
+        assert shared_testbed.blockage_occluders(BlockageScenario.LOS, headset) == []
+
+    @pytest.mark.parametrize("scenario", BLOCKING_SCENARIOS)
+    def test_blocking_scenarios_cut_the_los(self, shared_testbed, scenario):
+        bed = shared_testbed
+        headset = bed.random_headset()
+        occluders = bed.blockage_occluders(scenario, headset)
+        assert occluders
+        path = bed.system.tracer.line_of_sight(
+            bed.ap.position, headset.position, occluders
+        )
+        assert path.is_obstructed
+
+    def test_scenario_labels(self):
+        assert BlockageScenario.HAND.label == "LOS blocked by hand"
+        assert BlockageScenario.LOS.label == "LOS"

@@ -1,0 +1,133 @@
+"""Unit tests for VR motion models."""
+
+import pytest
+
+from repro.geometry.mobility import (
+    MotionTrace,
+    PoseSample,
+    VrPlayerMotion,
+    head_turn_trace,
+    linear_walk_trace,
+)
+from repro.geometry.room import rectangular_room
+from repro.geometry.vectors import Vec2
+
+
+class TestPoseSample:
+    def test_receiver_offset_along_yaw(self):
+        pose = PoseSample(time_s=0.0, position=Vec2(1, 1), yaw_deg=90.0)
+        rx = pose.receiver_position(0.1)
+        assert rx.x == pytest.approx(1.0, abs=1e-9)
+        assert rx.y == pytest.approx(1.1)
+
+    def test_zero_offset_is_position(self):
+        pose = PoseSample(time_s=0.0, position=Vec2(1, 1), yaw_deg=33.0)
+        assert pose.receiver_position(0.0) == Vec2(1, 1)
+
+
+class TestMotionTrace:
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            MotionTrace(samples=[])
+
+    def test_requires_increasing_time(self):
+        samples = [
+            PoseSample(0.0, Vec2(0, 0), 0.0),
+            PoseSample(0.0, Vec2(1, 1), 0.0),
+        ]
+        with pytest.raises(ValueError):
+            MotionTrace(samples=samples)
+
+    def test_interpolation_midpoint(self):
+        trace = MotionTrace(
+            samples=[
+                PoseSample(0.0, Vec2(0, 0), 0.0),
+                PoseSample(1.0, Vec2(2, 0), 90.0),
+            ]
+        )
+        mid = trace.pose_at(0.5)
+        assert mid.position == Vec2(1, 0)
+        assert mid.yaw_deg == pytest.approx(45.0)
+
+    def test_interpolation_clamps(self):
+        trace = MotionTrace(
+            samples=[
+                PoseSample(0.0, Vec2(0, 0), 0.0),
+                PoseSample(1.0, Vec2(2, 0), 0.0),
+            ]
+        )
+        assert trace.pose_at(-1.0).position == Vec2(0, 0)
+        assert trace.pose_at(5.0).position == Vec2(2, 0)
+
+    def test_yaw_interpolates_the_short_way(self):
+        trace = MotionTrace(
+            samples=[
+                PoseSample(0.0, Vec2(0, 0), 170.0),
+                PoseSample(1.0, Vec2(0, 0), -170.0),
+            ]
+        )
+        mid = trace.pose_at(0.5)
+        # 170 -> -170 crosses the wrap, not zero.
+        assert abs(abs(mid.yaw_deg) - 180.0) < 1e-6
+
+    def test_max_yaw_rate(self):
+        trace = head_turn_trace(Vec2(1, 1), 0.0, 90.0, duration_s=0.5)
+        assert trace.max_yaw_rate_deg_s() == pytest.approx(180.0, rel=0.05)
+
+
+class TestGenerators:
+    def test_linear_walk_endpoints(self):
+        trace = linear_walk_trace(Vec2(0, 0), Vec2(4, 0), duration_s=2.0)
+        assert trace.samples[0].position == Vec2(0, 0)
+        assert trace.samples[-1].position == Vec2(4, 0)
+        assert trace.duration_s == pytest.approx(2.0)
+
+    def test_linear_walk_validates_duration(self):
+        with pytest.raises(ValueError):
+            linear_walk_trace(Vec2(0, 0), Vec2(1, 0), duration_s=0.0)
+
+    def test_head_turn_fixed_position(self):
+        trace = head_turn_trace(Vec2(2, 2), 0.0, 120.0, duration_s=1.0)
+        assert all(s.position == Vec2(2, 2) for s in trace)
+        assert trace.samples[0].yaw_deg == pytest.approx(0.0)
+        assert trace.samples[-1].yaw_deg == pytest.approx(120.0)
+
+
+class TestVrPlayerMotion:
+    def test_deterministic_given_seed(self):
+        room = rectangular_room(5.0, 5.0)
+        t1 = VrPlayerMotion(room, seed=1).generate(2.0)
+        t2 = VrPlayerMotion(room, seed=1).generate(2.0)
+        assert all(
+            a.position == b.position and a.yaw_deg == b.yaw_deg
+            for a, b in zip(t1, t2)
+        )
+
+    def test_stays_in_play_area(self):
+        room = rectangular_room(5.0, 5.0)
+        motion = VrPlayerMotion(room, play_radius_m=1.0, seed=2)
+        trace = motion.generate(5.0)
+        center = room.bounding_box().center
+        for sample in trace:
+            assert sample.position.distance_to(center) <= 1.0 + 1e-6
+
+    def test_head_rotation_bounded_by_look_rate(self):
+        room = rectangular_room(5.0, 5.0)
+        motion = VrPlayerMotion(room, look_rate_deg_s=240.0, seed=3)
+        trace = motion.generate(5.0)
+        assert trace.max_yaw_rate_deg_s() <= 400.0  # rate + jitter
+
+    def test_sample_rate_respected(self):
+        room = rectangular_room(5.0, 5.0)
+        trace = VrPlayerMotion(room, seed=4).generate(1.0, sample_rate_hz=90.0)
+        assert len(trace) == 91
+
+    def test_play_center_must_be_inside(self):
+        room = rectangular_room(5.0, 5.0)
+        with pytest.raises(ValueError):
+            VrPlayerMotion(room, play_center=Vec2(10, 10))
+
+    def test_bad_duration_rejected(self):
+        room = rectangular_room(5.0, 5.0)
+        with pytest.raises(ValueError):
+            VrPlayerMotion(room, seed=0).generate(0.0)

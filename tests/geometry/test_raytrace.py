@@ -1,0 +1,195 @@
+"""Unit tests for the image-method ray tracer."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.geometry.bodies import hand_occluder
+from repro.geometry.raytrace import PropagationPath, RayTracer
+from repro.geometry.room import DRYWALL, METAL, rectangular_room, standard_office
+from repro.geometry.shapes import AxisAlignedBox, Circle
+from repro.geometry.vectors import Vec2, bearing_deg
+
+interior = st.floats(min_value=0.5, max_value=4.5)
+interior_points = st.builds(Vec2, interior, interior)
+
+
+@pytest.fixture
+def room():
+    return rectangular_room(5.0, 5.0)
+
+
+@pytest.fixture
+def tracer(room):
+    return RayTracer(room)
+
+
+class TestLineOfSight:
+    def test_clear_path(self, tracer):
+        path = tracer.line_of_sight(Vec2(1, 1), Vec2(4, 4))
+        assert path.is_line_of_sight
+        assert path.num_bounces == 0
+        assert not path.is_obstructed
+        assert path.total_length_m == pytest.approx(3.0 * math.sqrt(2.0))
+
+    def test_departure_arrival_angles(self, tracer):
+        path = tracer.line_of_sight(Vec2(1, 1), Vec2(4, 1))
+        assert path.departure_angle_deg == pytest.approx(0.0)
+        assert path.arrival_angle_deg == pytest.approx(-180.0)
+
+    def test_too_close_rejected(self, tracer):
+        with pytest.raises(ValueError, match="far-field"):
+            tracer.line_of_sight(Vec2(1, 1), Vec2(1.001, 1))
+
+    def test_occluder_annotated(self, tracer):
+        blocker = Circle(Vec2(2.5, 1.0), 0.2)
+        path = tracer.line_of_sight(Vec2(1, 1), Vec2(4, 1), [blocker])
+        assert path.is_obstructed
+        (obs,) = path.obstructions
+        assert obs.depth_m == pytest.approx(0.4, abs=1e-6)
+        assert obs.clearance_m == pytest.approx(-0.2, abs=1e-6)
+        assert obs.along_leg_m == pytest.approx(1.5, abs=1e-6)
+        assert obs.leg_length_m == pytest.approx(3.0)
+
+    def test_room_occluders_included_by_default(self):
+        room = rectangular_room(5.0, 5.0)
+        room.add_occluder(Circle(Vec2(2.5, 1.0), 0.2))
+        tracer = RayTracer(room)
+        assert tracer.line_of_sight(Vec2(1, 1), Vec2(4, 1)).is_obstructed
+
+    def test_room_occluders_skippable(self):
+        room = rectangular_room(5.0, 5.0)
+        room.add_occluder(Circle(Vec2(2.5, 1.0), 0.2))
+        tracer = RayTracer(room)
+        path = tracer.line_of_sight(
+            Vec2(1, 1), Vec2(4, 1), include_room_occluders=False
+        )
+        assert not path.is_obstructed
+
+    def test_propagation_delay(self, tracer):
+        path = tracer.line_of_sight(Vec2(1, 1), Vec2(4, 1))
+        assert path.propagation_delay_s() == pytest.approx(3.0 / 299_792_458.0)
+
+
+class TestSingleBounce:
+    def test_four_walls_give_four_paths(self, tracer):
+        paths = tracer.reflection_paths(Vec2(1, 2), Vec2(4, 2), max_bounces=1)
+        assert len(paths) == 4
+        assert all(p.num_bounces == 1 for p in paths)
+
+    def test_reflection_law_holds(self, tracer):
+        paths = tracer.reflection_paths(Vec2(1, 2), Vec2(4, 2), max_bounces=1)
+        for path in paths:
+            wall = path.walls[0]
+            bounce = path.points[1]
+            incoming = (bounce - path.points[0]).normalized()
+            outgoing = (path.points[2] - bounce).normalized()
+            normal = wall.segment.normal
+            # Angle of incidence equals angle of reflection.
+            assert abs(incoming.dot(normal)) == pytest.approx(
+                abs(outgoing.dot(normal)), abs=1e-9
+            )
+
+    def test_bounce_point_on_wall(self, tracer, room):
+        paths = tracer.reflection_paths(Vec2(1, 1), Vec2(4, 3), max_bounces=1)
+        for path in paths:
+            bounce = path.points[1]
+            seg = path.walls[0].segment
+            from repro.geometry.vectors import point_segment_distance
+
+            assert point_segment_distance(bounce, seg.a, seg.b) < 1e-6
+
+    def test_reflection_longer_than_direct(self, tracer):
+        direct = tracer.line_of_sight(Vec2(1, 1), Vec2(4, 3)).total_length_m
+        for path in tracer.reflection_paths(Vec2(1, 1), Vec2(4, 3), max_bounces=1):
+            assert path.total_length_m > direct - 1e-9
+
+    def test_reflection_loss_uses_material(self):
+        room = rectangular_room(5.0, 5.0, METAL)
+        tracer = RayTracer(room)
+        paths = tracer.reflection_paths(Vec2(1, 1), Vec2(4, 3), max_bounces=1)
+        assert all(
+            p.total_reflection_loss_db == METAL.reflection_loss_db for p in paths
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(interior_points, interior_points)
+    def test_image_method_symmetry(self, tx, rx):
+        """Swapping TX and RX yields the same path lengths."""
+        assume(tx.distance_to(rx) > 0.5)
+        tracer = RayTracer(rectangular_room(5.0, 5.0))
+        forward = sorted(
+            p.total_length_m for p in tracer.reflection_paths(tx, rx, max_bounces=1)
+        )
+        backward = sorted(
+            p.total_length_m for p in tracer.reflection_paths(rx, tx, max_bounces=1)
+        )
+        assert len(forward) == len(backward)
+        for f, b in zip(forward, backward):
+            assert f == pytest.approx(b, abs=1e-6)
+
+
+class TestDoubleBounce:
+    def test_double_bounce_paths_exist(self, tracer):
+        paths = tracer.reflection_paths(Vec2(1, 2), Vec2(4, 2), max_bounces=2)
+        doubles = [p for p in paths if p.num_bounces == 2]
+        assert doubles
+        for path in doubles:
+            assert len(path.points) == 4
+            assert path.total_reflection_loss_db == pytest.approx(
+                2.0 * DRYWALL.reflection_loss_db
+            )
+
+    def test_double_bounce_longer_than_single(self, tracer):
+        paths = tracer.reflection_paths(Vec2(1, 2), Vec2(4, 2), max_bounces=2)
+        singles = [p.total_length_m for p in paths if p.num_bounces == 1]
+        doubles = [p.total_length_m for p in paths if p.num_bounces == 2]
+        assert min(doubles) > min(singles)
+
+    def test_max_bounces_validated(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.reflection_paths(Vec2(1, 1), Vec2(4, 4), max_bounces=0)
+
+
+class TestAllPaths:
+    def test_includes_los_first(self, tracer):
+        paths = tracer.all_paths(Vec2(1, 1), Vec2(4, 3))
+        assert paths[0].is_line_of_sight
+        assert all(not p.is_line_of_sight for p in paths[1:])
+
+    def test_occluders_annotated_on_reflections(self, tracer):
+        rx = Vec2(4, 1)
+        hand = hand_occluder(rx, toward_angle_deg=180.0)
+        paths = tracer.all_paths(Vec2(1, 1), rx, extra_occluders=[hand])
+        assert paths[0].is_obstructed  # the LOS is cut
+        # The hand also clips reflections arriving from the AP side.
+        assert any(p.is_obstructed for p in paths[1:])
+
+    def test_path_validation(self):
+        with pytest.raises(ValueError):
+            PropagationPath(points=(Vec2(0, 0),), walls=())
+        with pytest.raises(ValueError):
+            PropagationPath(points=(Vec2(0, 0), Vec2(1, 1)), walls=("x",))
+
+
+class TestInteriorWallBlocking:
+    def test_interior_wall_blocks_crossing_reflections(self):
+        room = rectangular_room(5.0, 5.0)
+        # A free-standing interior wall splitting the room.
+        from repro.geometry.room import Wall
+        from repro.geometry.shapes import Segment
+
+        room.walls.append(Wall(Segment(Vec2(2.5, 1.0), Vec2(2.5, 4.0)), DRYWALL))
+        tracer = RayTracer(room)
+        paths = tracer.reflection_paths(Vec2(1, 2), Vec2(4, 2), max_bounces=1)
+        # Bounces off the north/south walls at x~2.5 would cross the
+        # interior wall and must be dropped; bounces off the interior
+        # wall itself survive.
+        for path in paths:
+            for leg_start, leg_end in zip(path.points, path.points[1:]):
+                mid = (leg_start + leg_end) * 0.5
+                # No leg midpoint may sit on the far side crossing.
+                assert not (
+                    abs(mid.x - 2.5) < 0.01 and 1.0 < mid.y < 4.0
+                ) or path.walls[0].segment.a.x == 2.5

@@ -1,0 +1,116 @@
+"""Unit tests for frame delivery with ARQ."""
+
+import math
+
+import pytest
+
+from repro.link.arq import (
+    ArqFrameLink,
+    DeliveryOutcome,
+    delivery_statistics,
+)
+from repro.rate.mcs import mcs_by_index
+from repro.vr.traffic import DEFAULT_TRAFFIC
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArqFrameLink(turnaround_s=-1.0)
+        with pytest.raises(ValueError):
+            ArqFrameLink(num_fragments=0)
+        with pytest.raises(ValueError):
+            ArqFrameLink(policy="yolo")
+
+    def test_fragment_bits_cover_frame(self):
+        link = ArqFrameLink(num_fragments=64)
+        assert link.fragment_bits * 64 >= DEFAULT_TRAFFIC.frame_bits
+
+
+class TestDeliverFrame:
+    def test_high_snr_single_round(self):
+        link = ArqFrameLink(rng=0)
+        outcome = link.deliver_frame(30.0)
+        assert outcome.delivered
+        assert outcome.attempts == 1
+        assert outcome.retransmissions == 0
+        assert outcome.latency_s < DEFAULT_TRAFFIC.frame_deadline_s
+
+    def test_latency_is_airtime_at_high_snr(self):
+        link = ArqFrameLink(rng=0)
+        outcome = link.deliver_frame(30.0)
+        mcs = mcs_by_index(outcome.mcs_index)
+        expected = link.num_fragments * link.fragment_airtime_s(mcs)
+        assert outcome.latency_s == pytest.approx(expected, rel=1e-6)
+
+    def test_outage_when_no_mcs(self):
+        link = ArqFrameLink(rng=0)
+        outcome = link.deliver_frame(-30.0)
+        assert not outcome.delivered
+        assert outcome.mcs_index is None
+        assert outcome.latency_s == math.inf
+
+    def test_slow_mcs_misses_deadline(self):
+        # At 10 dB the viable MCS cannot push a raw frame in 10 ms.
+        link = ArqFrameLink(rng=0)
+        outcome = link.deliver_frame(10.0)
+        assert not outcome.delivered
+        assert outcome.latency_s == math.inf
+
+    def test_deterministic_given_rng(self):
+        a = ArqFrameLink(rng=5).deliver_many(16.0, 50)
+        b = ArqFrameLink(rng=5).deliver_many(16.0, 50)
+        assert [o.latency_s for o in a] == [o.latency_s for o in b]
+
+    def test_num_frames_validated(self):
+        with pytest.raises(ValueError):
+            ArqFrameLink(rng=0).deliver_many(20.0, 0)
+
+
+class TestDeadlineAwareSelection:
+    def test_never_worse_than_margin_policy(self):
+        for snr in (13.0, 15.0, 20.0, 30.0):
+            smart = ArqFrameLink(policy="deadline-aware", rng=1)
+            safe = ArqFrameLink(margin_db=2.0, rng=1)
+            smart_stats = delivery_statistics(smart.deliver_many(snr, 100))
+            safe_stats = delivery_statistics(safe.deliver_many(snr, 100))
+            assert smart_stats["loss_rate"] <= safe_stats["loss_rate"] + 0.05
+
+    def test_rescues_the_threshold_point(self):
+        smart = ArqFrameLink(policy="deadline-aware", rng=2)
+        stats = delivery_statistics(smart.deliver_many(13.0, 100))
+        assert stats["loss_rate"] <= 0.05
+
+    def test_selection_cached(self):
+        link = ArqFrameLink(policy="deadline-aware", rng=3)
+        link.deliver_frame(20.0)
+        cached = link._mcs_cache[20.0]
+        link.deliver_frame(20.0)
+        assert link._mcs_cache[20.0] is cached
+
+    def test_trials_validated(self):
+        link = ArqFrameLink(policy="deadline-aware", rng=0)
+        with pytest.raises(ValueError):
+            link.select_mcs_deadline_aware(20.0, trials=0)
+
+
+class TestDeliveryStatistics:
+    def test_summary(self):
+        outcomes = [
+            DeliveryOutcome(True, 1, 0.005, 24),
+            DeliveryOutcome(True, 2, 0.008, 24),
+            DeliveryOutcome(False, 1, math.inf, 24),
+        ]
+        stats = delivery_statistics(outcomes)
+        assert stats["frames"] == 3
+        assert stats["loss_rate"] == pytest.approx(1.0 / 3.0)
+        assert stats["mean_latency_ms"] == pytest.approx(6.5)
+
+    def test_all_lost(self):
+        stats = delivery_statistics([DeliveryOutcome(False, 0, math.inf, None)])
+        assert stats["loss_rate"] == 1.0
+        assert stats["mean_latency_ms"] == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            delivery_statistics([])

@@ -1,0 +1,106 @@
+"""Unit tests for beam codebooks and searches."""
+
+import math
+
+import pytest
+
+from repro.link.beams import (
+    DEFAULT_PROBE_TIME_S,
+    Codebook,
+    SweepResult,
+    exhaustive_joint_sweep,
+    hierarchical_joint_sweep,
+    single_sided_sweep,
+)
+
+
+def planted_peak_metric(peak_tx: float, peak_rx: float, width: float = 8.0):
+    """A smooth unimodal metric peaking at (peak_tx, peak_rx)."""
+
+    def metric(tx: float, rx: float) -> float:
+        return -((tx - peak_tx) ** 2 + (rx - peak_rx) ** 2) / width
+
+    return metric
+
+
+class TestCodebook:
+    def test_uniform_inclusive(self):
+        cb = Codebook.uniform(40.0, 140.0, 1.0)
+        assert len(cb) == 101
+        assert cb.angles_deg[0] == 40.0
+        assert cb.angles_deg[-1] == 140.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            Codebook.uniform(0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            Codebook.uniform(10.0, 0.0, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Codebook(angles_deg=())
+
+    def test_nearest(self):
+        cb = Codebook.uniform(0.0, 10.0, 2.0)
+        assert cb.nearest(5.1) == 6.0
+        assert cb.nearest(-3.0) == 0.0
+
+
+class TestExhaustiveSweep:
+    def test_finds_planted_peak(self):
+        tx_cb = Codebook.uniform(0.0, 100.0, 1.0)
+        rx_cb = Codebook.uniform(0.0, 100.0, 1.0)
+        result = exhaustive_joint_sweep(tx_cb, rx_cb, planted_peak_metric(37.0, 61.0))
+        assert result.best_tx_deg == 37.0
+        assert result.best_rx_deg == 61.0
+        assert result.num_probes == 101 * 101
+
+    def test_keep_map(self):
+        tx_cb = Codebook.uniform(0.0, 10.0, 5.0)
+        rx_cb = Codebook.uniform(0.0, 10.0, 5.0)
+        result = exhaustive_joint_sweep(
+            tx_cb, rx_cb, planted_peak_metric(5.0, 5.0), keep_map=True
+        )
+        assert result.metric_map.shape == (3, 3)
+        assert result.metric_map.max() == result.best_metric
+
+    def test_sweep_time(self):
+        result = SweepResult(0.0, 0.0, 0.0, num_probes=1000)
+        assert result.search_time_s() == pytest.approx(1000 * DEFAULT_PROBE_TIME_S)
+
+
+class TestHierarchicalSweep:
+    def test_finds_peak_cheaper(self):
+        metric = planted_peak_metric(72.0, 72.0, width=50.0)
+        exhaustive = exhaustive_joint_sweep(
+            Codebook.uniform(40.0, 140.0, 1.0),
+            Codebook.uniform(40.0, 140.0, 1.0),
+            metric,
+        )
+        hierarchical = hierarchical_joint_sweep(40.0, 140.0, metric)
+        assert hierarchical.num_probes < exhaustive.num_probes / 3
+        assert abs(hierarchical.best_tx_deg - 72.0) <= 1.0
+        assert abs(hierarchical.best_rx_deg - 72.0) <= 1.0
+
+    def test_validation(self):
+        metric = planted_peak_metric(50.0, 50.0)
+        with pytest.raises(ValueError):
+            hierarchical_joint_sweep(0.0, 100.0, metric, coarse_step_deg=0.0)
+        with pytest.raises(ValueError):
+            hierarchical_joint_sweep(
+                0.0, 100.0, metric, coarse_step_deg=1.0, fine_step_deg=2.0
+            )
+
+
+class TestSingleSidedSweep:
+    def test_finds_peak(self):
+        cb = Codebook.uniform(0.0, 100.0, 1.0)
+        angle, value, probes = single_sided_sweep(cb, lambda a: -abs(a - 33.0))
+        assert angle == 33.0
+        assert value == 0.0
+        assert probes == 101
+
+    def test_probe_count_matches_codebook(self):
+        cb = Codebook.uniform(0.0, 10.0, 2.0)
+        _, _, probes = single_sided_sweep(cb, lambda a: a)
+        assert probes == len(cb)

@@ -1,0 +1,89 @@
+"""Unit tests for beam-codebook design."""
+
+import pytest
+
+from repro.link.codebook_design import (
+    analyze_coverage,
+    design_sector_codebook,
+    search_cost_frames,
+)
+from repro.phy.antenna import MOVR_ARRAY, PhasedArray, PhasedArrayConfig
+
+
+class TestDesign:
+    def test_beams_inside_sector(self):
+        codebook = design_sector_codebook(MOVR_ARRAY, -50.0, 50.0)
+        assert all(-51.0 <= a <= 51.0 for a in codebook)
+
+    def test_more_elements_need_more_beams(self):
+        small = design_sector_codebook(PhasedArrayConfig(num_elements=8), -50.0, 50.0)
+        large = design_sector_codebook(PhasedArrayConfig(num_elements=32), -50.0, 50.0)
+        assert len(large) > len(small)
+
+    def test_tighter_scalloping_needs_more_beams(self):
+        loose = design_sector_codebook(MOVR_ARRAY, -50.0, 50.0, max_scalloping_db=3.0)
+        tight = design_sector_codebook(MOVR_ARRAY, -50.0, 50.0, max_scalloping_db=0.5)
+        assert len(tight) > len(loose)
+
+    def test_narrow_sector_single_beam(self):
+        codebook = design_sector_codebook(MOVR_ARRAY, -1.0, 1.0)
+        assert len(codebook) == 1
+
+    def test_sector_validation(self):
+        with pytest.raises(ValueError):
+            design_sector_codebook(MOVR_ARRAY, 50.0, -50.0)
+        with pytest.raises(ValueError):
+            design_sector_codebook(MOVR_ARRAY, -80.0, 80.0)  # beyond scan
+
+    def test_boresight_offset(self):
+        codebook = design_sector_codebook(
+            MOVR_ARRAY, 40.0, 140.0, boresight_deg=90.0
+        )
+        assert all(39.0 <= a <= 141.0 for a in codebook)
+
+
+class TestCoverage:
+    def test_designed_codebook_meets_scalloping_target(self):
+        array = PhasedArray(MOVR_ARRAY, boresight_deg=0.0)
+        codebook = design_sector_codebook(
+            MOVR_ARRAY, -45.0, 45.0, max_scalloping_db=3.0
+        )
+        coverage = analyze_coverage(codebook, array, -45.0, 45.0)
+        # The true pattern deviates a little from the design formula;
+        # allow one extra dB of slack.
+        assert coverage.scalloping_loss_db <= 3.0 + 4.0
+        # The worst-covered angle still has serious gain.
+        assert coverage.worst_gain_dbi > MOVR_ARRAY.boresight_gain_dbi - 8.0
+
+    def test_sparse_codebook_has_holes(self):
+        from repro.link.beams import Codebook
+
+        array = PhasedArray(MOVR_ARRAY, boresight_deg=0.0)
+        sparse = Codebook((-40.0, 0.0, 40.0))
+        dense = design_sector_codebook(MOVR_ARRAY, -45.0, 45.0)
+        sparse_cov = analyze_coverage(sparse, array, -45.0, 45.0)
+        dense_cov = analyze_coverage(dense, array, -45.0, 45.0)
+        assert sparse_cov.worst_gain_dbi < dense_cov.worst_gain_dbi - 5.0
+
+    def test_validation(self):
+        array = PhasedArray(MOVR_ARRAY, boresight_deg=0.0)
+        codebook = design_sector_codebook(MOVR_ARRAY, -10.0, 10.0)
+        with pytest.raises(ValueError):
+            analyze_coverage(codebook, array, 10.0, -10.0)
+
+
+class TestSearchCost:
+    def test_joint_vs_linear(self):
+        assert search_cost_frames((10, 20), joint=True) == 200
+        assert search_cost_frames((10, 20), joint=False) == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            search_cost_frames((0, 5), joint=True)
+
+    def test_codebook_size_drives_search_cost(self):
+        small = design_sector_codebook(PhasedArrayConfig(num_elements=8), -50.0, 50.0)
+        large = design_sector_codebook(PhasedArrayConfig(num_elements=32), -50.0, 50.0)
+        assert search_cost_frames((len(small), len(small)), True) < search_cost_frames(
+            (len(large), len(large)), True
+        )

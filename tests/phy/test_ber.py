@@ -1,0 +1,109 @@
+"""Unit tests for the bit/frame error-rate model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.ber import (
+    best_goodput_mbps,
+    coded_ber,
+    frame_error_rate,
+    goodput_mbps,
+    q_function,
+    uncoded_ber,
+)
+from repro.rate.mcs import MCS_TABLE, mcs_by_index
+
+
+class TestQFunction:
+    def test_known_values(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert q_function(1.0) == pytest.approx(0.1587, abs=1e-3)
+        assert q_function(3.0) == pytest.approx(0.00135, abs=1e-4)
+
+    @given(st.floats(min_value=-5.0, max_value=5.0))
+    def test_monotone_decreasing(self, x):
+        assert q_function(x + 0.1) < q_function(x)
+
+
+class TestUncodedBer:
+    def test_bpsk_reference(self):
+        # BPSK at 9.6 dB Eb/N0: BER ~ 1e-5.
+        assert uncoded_ber("BPSK", 9.6) == pytest.approx(1.0e-5, rel=0.4)
+
+    def test_modulation_ordering(self):
+        """At equal symbol SNR, denser constellations err more."""
+        snr = 12.0
+        assert (
+            uncoded_ber("BPSK", snr)
+            < uncoded_ber("QPSK", snr)
+            < uncoded_ber("16-QAM", snr)
+            < uncoded_ber("64-QAM", snr)
+        )
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ValueError):
+            uncoded_ber("256-QAM", 10.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from(["BPSK", "QPSK", "16-QAM", "64-QAM", "DBPSK"]),
+        st.floats(min_value=-10.0, max_value=30.0),
+    )
+    def test_monotone_in_snr(self, modulation, snr):
+        assert uncoded_ber(modulation, snr + 1.0) <= uncoded_ber(modulation, snr)
+
+
+class TestCodedBerAndFer:
+    @pytest.mark.parametrize("mcs", MCS_TABLE, ids=lambda m: f"mcs{m.index}")
+    def test_threshold_is_usable(self, mcs):
+        """At the table threshold, frames mostly get through."""
+        assert frame_error_rate(mcs, mcs.snr_threshold_db) <= 0.2
+
+    @pytest.mark.parametrize("mcs", MCS_TABLE, ids=lambda m: f"mcs{m.index}")
+    def test_deep_below_threshold_collapses(self, mcs):
+        assert frame_error_rate(mcs, mcs.snr_threshold_db - 8.0) >= 0.9
+
+    def test_fer_grows_with_frame_size(self):
+        mcs = mcs_by_index(12)
+        snr = mcs.snr_threshold_db
+        small = frame_error_rate(mcs, snr, frame_bits=1000)
+        large = frame_error_rate(mcs, snr, frame_bits=100_000)
+        assert large > small
+
+    def test_frame_bits_validated(self):
+        with pytest.raises(ValueError):
+            frame_error_rate(mcs_by_index(1), 10.0, frame_bits=0)
+
+    def test_coded_beats_uncoded(self):
+        mcs = mcs_by_index(2)  # BPSK 1/2
+        snr = 4.0
+        assert coded_ber(mcs, snr) < uncoded_ber("BPSK", snr)
+
+
+class TestGoodput:
+    def test_zero_in_outage(self):
+        assert goodput_mbps(mcs_by_index(12), -20.0) == pytest.approx(0.0, abs=1.0)
+
+    def test_full_rate_well_above_threshold(self):
+        mcs = mcs_by_index(12)
+        assert goodput_mbps(mcs, mcs.snr_threshold_db + 10.0) == pytest.approx(
+            mcs.data_rate_mbps, rel=1e-6
+        )
+
+    def test_best_goodput_monotone(self):
+        values = [best_goodput_mbps(snr) for snr in range(-5, 30, 2)]
+        # Allow tiny non-monotonicity at MCS switchovers.
+        for low, high in zip(values, values[1:]):
+            assert high >= low - 1.0
+
+    def test_best_goodput_tracks_threshold_table(self):
+        """The error-rate physics and the sensitivity table agree to
+        within roughly one MCS step at mid-range SNRs."""
+        from repro.rate.mcs import data_rate_mbps_for_snr
+
+        for snr in (5.0, 10.0, 15.0, 20.0, 25.0):
+            physics = best_goodput_mbps(snr)
+            table = data_rate_mbps_for_snr(snr)
+            assert physics >= table * 0.8

@@ -1,0 +1,165 @@
+"""Unit tests for the blockage/diffraction model.
+
+The calibration classes pin the model to the paper's section 3 numbers:
+hand >= 14 dB, head ~20 dB, walking person ~18-22 dB.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.bodies import (
+    hand_occluder,
+    person_blocking_path,
+    self_head_blocking,
+)
+from repro.geometry.raytrace import Obstruction, RayTracer
+from repro.geometry.room import rectangular_room
+from repro.geometry.shapes import Circle
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.phy.blockage import BlockageModel
+
+
+@pytest.fixture
+def model():
+    return BlockageModel()
+
+
+@pytest.fixture
+def tracer():
+    return RayTracer(rectangular_room(5.0, 5.0))
+
+
+def make_obstruction(depth=0.1, clearance=-0.05, along=1.0, leg=3.0):
+    return Obstruction(
+        occluder=Circle(Vec2(0, 0), 0.1),
+        leg_index=0,
+        depth_m=depth,
+        clearance_m=clearance,
+        along_leg_m=along,
+        leg_length_m=leg,
+    )
+
+
+class TestKnifeEdge:
+    def test_clear_path_no_loss(self, model):
+        assert model.knife_edge_loss_db(-1.0, 1.0, 1.0) == 0.0
+
+    def test_grazing_is_6db(self, model):
+        assert model.knife_edge_loss_db(0.0, 1.0, 1.0) == pytest.approx(6.0, abs=0.5)
+
+    def test_deeper_shadow_more_loss(self, model):
+        shallow = model.knife_edge_loss_db(0.02, 1.0, 1.0)
+        deep = model.knife_edge_loss_db(0.2, 1.0, 1.0)
+        assert deep > shallow
+
+    def test_closer_obstacle_more_loss(self, model):
+        far = model.knife_edge_loss_db(0.05, 2.0, 2.0)
+        near = model.knife_edge_loss_db(0.05, 0.2, 3.8)
+        assert near > far
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=-0.5, max_value=0.5),
+        st.floats(min_value=0.05, max_value=5.0),
+        st.floats(min_value=0.05, max_value=5.0),
+    )
+    def test_loss_non_negative_and_symmetric(self, h, d1, d2):
+        model = BlockageModel()
+        loss = model.knife_edge_loss_db(h, d1, d2)
+        assert loss >= 0.0
+        assert loss == pytest.approx(model.knife_edge_loss_db(h, d2, d1))
+
+
+class TestObstructionLoss:
+    def test_capped(self, model):
+        obs = make_obstruction(depth=0.5, clearance=-0.25)
+        assert model.obstruction_loss_db(obs) <= model.max_blockage_db
+
+    def test_absorption_scales_with_depth(self, model):
+        assert model.absorption_loss_db(0.1) == pytest.approx(40.0)
+        with pytest.raises(ValueError):
+            model.absorption_loss_db(-0.1)
+
+    def test_thin_graze_small_loss(self, model):
+        obs = make_obstruction(depth=0.005, clearance=-0.001)
+        assert model.obstruction_loss_db(obs) < 12.0
+
+
+class TestPaperCalibration:
+    """Pin the blockage model to the paper's measured attenuations."""
+
+    def test_hand_blockage_band(self, model, tracer):
+        headset, ap = Vec2(3.0, 3.0), Vec2(0.3, 0.3)
+        hand = hand_occluder(headset, bearing_deg(headset, ap))
+        path = tracer.line_of_sight(ap, headset, [hand])
+        loss = model.path_blockage_db(path.obstructions)
+        assert 13.0 <= loss <= 22.0  # paper: > 14 dB
+
+    def test_head_blockage_band(self, model, tracer):
+        headset, ap = Vec2(3.0, 3.0), Vec2(0.3, 0.3)
+        head = self_head_blocking(headset, ap)
+        path = tracer.line_of_sight(ap, headset, [head])
+        loss = model.path_blockage_db(path.obstructions)
+        assert 18.0 <= loss <= 28.0  # paper: ~20 dB
+
+    def test_body_blockage_band(self, model, tracer):
+        headset, ap = Vec2(3.0, 3.0), Vec2(0.3, 0.3)
+        person = person_blocking_path(ap, headset, 0.5)
+        path = tracer.line_of_sight(ap, headset, person.occluders())
+        loss = model.path_blockage_db(path.obstructions)
+        assert 15.0 <= loss <= 26.0  # paper: ~20 dB
+
+    def test_hand_worse_when_closer_to_headset(self, model, tracer):
+        headset, ap = Vec2(3.0, 3.0), Vec2(0.3, 0.3)
+        near = hand_occluder(headset, bearing_deg(headset, ap), reach_m=0.15)
+        far = hand_occluder(headset, bearing_deg(headset, ap), reach_m=0.5)
+        loss_near = model.path_blockage_db(
+            tracer.line_of_sight(ap, headset, [near]).obstructions
+        )
+        loss_far = model.path_blockage_db(
+            tracer.line_of_sight(ap, headset, [far]).obstructions
+        )
+        assert loss_near > loss_far
+
+
+class TestClustering:
+    def test_overlapping_occluders_do_not_double_count(self, model):
+        a = make_obstruction(depth=0.3, clearance=-0.15, along=1.0)
+        b = make_obstruction(depth=0.15, clearance=-0.05, along=1.1)
+        combined = model.path_blockage_db([a, b])
+        strongest = max(
+            model.obstruction_loss_db(a), model.obstruction_loss_db(b)
+        )
+        assert combined == pytest.approx(strongest)
+
+    def test_separated_occluders_add(self, model):
+        a = make_obstruction(depth=0.1, clearance=-0.05, along=0.5)
+        b = make_obstruction(depth=0.1, clearance=-0.05, along=2.5)
+        combined = model.path_blockage_db([a, b])
+        total = model.obstruction_loss_db(a) + model.obstruction_loss_db(b)
+        assert combined == pytest.approx(total)
+
+    def test_different_legs_never_cluster(self, model):
+        a = make_obstruction(along=1.0)
+        b = Obstruction(
+            occluder=Circle(Vec2(0, 0), 0.1),
+            leg_index=1,
+            depth_m=0.1,
+            clearance_m=-0.05,
+            along_leg_m=1.0,
+            leg_length_m=3.0,
+        )
+        combined = model.path_blockage_db([a, b])
+        assert combined == pytest.approx(
+            model.obstruction_loss_db(a) + model.obstruction_loss_db(b)
+        )
+
+    def test_overall_cap(self, model):
+        heavy = [
+            make_obstruction(depth=0.4, clearance=-0.2, along=float(i))
+            for i in range(5)
+        ]
+        assert model.path_blockage_db(heavy) <= 2.0 * model.max_blockage_db
+
+    def test_empty_list_is_zero(self, model):
+        assert model.path_blockage_db([]) == 0.0

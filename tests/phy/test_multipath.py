@@ -1,0 +1,169 @@
+"""Unit tests for the frequency-selective OFDM channel path."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.raytrace import RayTracer
+from repro.geometry.room import rectangular_room
+from repro.geometry.vectors import Vec2
+from repro.phy.channel import MmWaveChannel
+from repro.phy.ofdm import (
+    ChannelTap,
+    OfdmModem,
+    apply_multipath,
+    channel_frequency_response,
+    delay_spread_s,
+    measure_multipath_snr_db,
+    taps_from_paths,
+)
+
+FS = 1.83e9
+
+
+@pytest.fixture
+def modem():
+    return OfdmModem(seed=0)
+
+
+def two_tap_channel(excess_delay_s=2.0 / 3e8, echo_gain=0.3):
+    return (
+        ChannelTap(0.0, 1.0 + 0j),
+        ChannelTap(excess_delay_s, echo_gain * np.exp(0.7j)),
+    )
+
+
+class TestChannelTap:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelTap(-1e-9, 1.0)
+
+    def test_delay_spread(self):
+        taps = two_tap_channel(10e-9)
+        assert delay_spread_s(taps) == pytest.approx(10e-9)
+        with pytest.raises(ValueError):
+            delay_spread_s([])
+
+
+class TestTapsFromPaths:
+    def test_geometry_to_taps(self):
+        room = rectangular_room(5.0, 5.0)
+        tracer = RayTracer(room)
+        channel = MmWaveChannel()
+        paths = tracer.all_paths(Vec2(1, 1), Vec2(4, 1), max_bounces=1)
+        taps = taps_from_paths(paths, channel)
+        assert len(taps) == len(paths)
+        # The LOS tap is earliest and strongest.
+        los = min(taps, key=lambda t: t.delay_s)
+        assert abs(los.gain) == max(abs(t.gain) for t in taps)
+        assert los.delay_s == pytest.approx(3.0 / 299_792_458.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            taps_from_paths([], MmWaveChannel())
+
+
+class TestApplyMultipath:
+    def test_single_tap_is_scaling(self):
+        samples = np.ones(64, dtype=complex)
+        out = apply_multipath(samples, [ChannelTap(5e-9, 0.5j)], FS)
+        np.testing.assert_allclose(out, 0.5j * samples)
+
+    def test_echo_shifts(self):
+        samples = np.zeros(32, dtype=complex)
+        samples[0] = 1.0
+        shift_s = 4.0 / FS
+        out = apply_multipath(
+            samples, [ChannelTap(0.0, 1.0), ChannelTap(shift_s, 0.5)], FS
+        )
+        assert out[0] == pytest.approx(1.0)
+        assert out[4] == pytest.approx(0.5)
+
+    def test_echo_beyond_signal_dropped(self):
+        samples = np.ones(8, dtype=complex)
+        out = apply_multipath(
+            samples, [ChannelTap(0.0, 1.0), ChannelTap(100.0 / FS, 1.0)], FS
+        )
+        np.testing.assert_allclose(out, samples)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            apply_multipath(np.ones(4, dtype=complex), [], FS)
+        with pytest.raises(ValueError):
+            apply_multipath(np.ones(4, dtype=complex), two_tap_channel(), 0.0)
+
+
+class TestFrequencyResponse:
+    def test_flat_for_single_tap(self, modem):
+        response = channel_frequency_response(
+            [ChannelTap(0.0, 2.0 + 0j)], modem.config, FS
+        )
+        np.testing.assert_allclose(response, 2.0)
+
+    def test_selective_for_two_taps(self, modem):
+        response = channel_frequency_response(two_tap_channel(), modem.config, FS)
+        assert float(np.abs(response).max() - np.abs(response).min()) > 0.3
+
+    def test_matches_demodulated_channel(self, modem):
+        """The analytic response matches what the receiver measures."""
+        taps = two_tap_channel()
+        payload = modem.random_payload()
+        rx = apply_multipath(modem.modulate(payload), taps, FS)
+        grid = modem.demodulate(rx)
+        h_measured = np.sum(np.conj(payload) * grid, axis=0) / np.sum(
+            np.abs(payload) ** 2, axis=0
+        )
+        h_analytic = channel_frequency_response(taps, modem.config, FS)
+        # Up to the modulator's power normalization (a common scalar).
+        scale = np.mean(np.abs(h_measured) / np.abs(h_analytic))
+        np.testing.assert_allclose(
+            np.abs(h_measured), scale * np.abs(h_analytic), rtol=0.05
+        )
+
+
+class TestMultipathSnr:
+    def test_equalizer_restores_snr(self, modem):
+        taps = two_tap_channel()
+        equalized = measure_multipath_snr_db(modem, taps, FS, 25.0, True, rng=1)
+        raw = measure_multipath_snr_db(modem, taps, FS, 25.0, False, rng=1)
+        assert equalized > raw + 8.0
+        assert equalized == pytest.approx(25.0, abs=2.5)
+
+    def test_flat_channel_needs_no_equalizer(self, modem):
+        taps = (ChannelTap(0.0, 1.0 + 0j),)
+        equalized = measure_multipath_snr_db(modem, taps, FS, 20.0, True, rng=2)
+        raw = measure_multipath_snr_db(modem, taps, FS, 20.0, False, rng=2)
+        assert abs(equalized - raw) < 1.5
+
+    def test_cp_violation_degrades(self, modem):
+        """An echo longer than the cyclic prefix causes inter-symbol
+        interference that even the equalizer cannot remove."""
+        cp_s = modem.config.cyclic_prefix / FS
+        inside = measure_multipath_snr_db(
+            modem,
+            (ChannelTap(0.0, 1.0), ChannelTap(0.5 * cp_s, 0.5)),
+            FS,
+            30.0,
+            True,
+            rng=3,
+        )
+        outside = measure_multipath_snr_db(
+            modem,
+            (ChannelTap(0.0, 1.0), ChannelTap(3.0 * cp_s, 0.5)),
+            FS,
+            30.0,
+            True,
+            rng=3,
+        )
+        assert outside < inside - 5.0
+
+    def test_room_delay_spread_within_cp(self, modem):
+        """In the paper's office, first-order multipath fits inside the
+        802.11ad-proportioned cyclic prefix at full sample rate."""
+        room = rectangular_room(5.0, 5.0)
+        tracer = RayTracer(room)
+        paths = tracer.all_paths(Vec2(1, 1), Vec2(4, 3), max_bounces=1)
+        taps = taps_from_paths(paths, MmWaveChannel())
+        # Full 802.11ad OFDM numerology: 128-sample CP at 2.64 GS/s.
+        assert delay_spread_s(taps) < 128 / 2.64e9

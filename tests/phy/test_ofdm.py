@@ -1,0 +1,103 @@
+"""Unit tests for OFDM modulation and EVM SNR estimation."""
+
+import numpy as np
+import pytest
+
+from repro.phy.ofdm import OfdmConfig, OfdmModem, measure_link_snr_db
+
+
+class TestOfdmConfig:
+    def test_defaults(self):
+        cfg = OfdmConfig()
+        assert cfg.samples_per_symbol == 80
+        assert len(cfg.active_bins) == 52
+
+    def test_active_bins_skip_dc(self):
+        cfg = OfdmConfig()
+        assert 0 not in cfg.active_bins
+
+    def test_active_bins_symmetric(self):
+        cfg = OfdmConfig()
+        bins = set(cfg.active_bins.tolist())
+        positive = {b for b in bins if b <= cfg.fft_size // 2}
+        negative = {cfg.fft_size - b for b in bins if b > cfg.fft_size // 2}
+        assert len(positive) == len(negative)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OfdmConfig(num_active_subcarriers=64, fft_size=64)
+        with pytest.raises(ValueError):
+            OfdmConfig(cyclic_prefix=64, fft_size=64)
+
+
+class TestModemRoundTrip:
+    def test_clean_channel_perfect_recovery(self):
+        modem = OfdmModem(seed=0)
+        payload = modem.random_payload()
+        samples = modem.modulate(payload)
+        grid = modem.demodulate(samples)
+        # Up to a constant scale factor (normalization), the grid
+        # matches the payload.
+        h = np.vdot(payload.ravel(), grid.ravel()) / np.vdot(
+            payload.ravel(), payload.ravel()
+        )
+        np.testing.assert_allclose(grid, h * payload, atol=1e-9)
+
+    def test_modulated_power_normalized(self):
+        modem = OfdmModem(seed=1)
+        samples = modem.modulate(modem.random_payload())
+        assert float(np.mean(np.abs(samples) ** 2)) == pytest.approx(1.0)
+
+    def test_clean_channel_infinite_snr(self):
+        modem = OfdmModem(seed=2)
+        payload = modem.random_payload()
+        grid = modem.demodulate(modem.modulate(payload))
+        assert modem.estimate_snr_db(grid, payload) > 100.0
+
+    def test_shape_validation(self):
+        modem = OfdmModem()
+        with pytest.raises(ValueError):
+            modem.modulate(np.zeros((2, 2), dtype=complex))
+        with pytest.raises(ValueError):
+            modem.demodulate(np.zeros(17, dtype=complex))
+        with pytest.raises(ValueError):
+            modem.estimate_snr_db(
+                np.zeros((2, 2), dtype=complex), np.zeros((3, 3), dtype=complex)
+            )
+
+    def test_zero_reference_rejected(self):
+        modem = OfdmModem()
+        zeros = np.zeros(
+            (modem.config.symbols_per_packet, modem.config.num_active_subcarriers),
+            dtype=complex,
+        )
+        with pytest.raises(ValueError):
+            modem.estimate_snr_db(zeros, zeros)
+
+
+class TestSnrMeasurement:
+    @pytest.mark.parametrize("true_snr", [0.0, 10.0, 20.0, 30.0])
+    def test_estimator_tracks_truth(self, true_snr):
+        estimates = [
+            measure_link_snr_db(
+                channel_gain_db=true_snr,
+                tx_power_dbm=0.0,
+                noise_floor_dbm=0.0,
+                rng=seed,
+            )
+            for seed in range(8)
+        ]
+        assert float(np.mean(estimates)) == pytest.approx(true_snr, abs=1.5)
+
+    def test_link_budget_form(self):
+        # tx 10 dBm, gain -60 dB, floor -70 dBm -> SNR 20 dB.
+        estimate = measure_link_snr_db(
+            channel_gain_db=-60.0, tx_power_dbm=10.0, noise_floor_dbm=-70.0, rng=3
+        )
+        assert estimate == pytest.approx(20.0, abs=2.0)
+
+    def test_deep_outage_estimates_low(self):
+        estimate = measure_link_snr_db(
+            channel_gain_db=-20.0, tx_power_dbm=0.0, noise_floor_dbm=0.0, rng=4
+        )
+        assert estimate < 0.0

@@ -1,0 +1,93 @@
+"""Unit tests for hysteresis rate adaptation."""
+
+import pytest
+
+from repro.rate.adaptation import RateAdapter, outage_fraction
+from repro.rate.mcs import MAX_RATE_MBPS
+
+
+class TestRateAdapter:
+    def test_initial_state_idle(self):
+        adapter = RateAdapter()
+        assert adapter.current_mcs is None
+        assert adapter.current_rate_mbps == 0.0
+
+    def test_first_observation_selects(self):
+        adapter = RateAdapter()
+        adapter.observe(25.0)
+        assert adapter.current_rate_mbps > 0.0
+
+    def test_steps_down_immediately(self):
+        adapter = RateAdapter()
+        adapter.observe(30.0)
+        high = adapter.current_rate_mbps
+        adapter.observe(5.0)
+        assert adapter.current_rate_mbps < high
+
+    def test_steps_up_only_after_dwell(self):
+        adapter = RateAdapter(up_dwell=3)
+        adapter.observe(10.0)
+        low = adapter.current_rate_mbps
+        adapter.observe(30.0)
+        assert adapter.current_rate_mbps == low  # 1 observation
+        adapter.observe(30.0)
+        assert adapter.current_rate_mbps == low  # 2 observations
+        adapter.observe(30.0)
+        assert adapter.current_rate_mbps > low  # dwell satisfied
+
+    def test_dwell_resets_on_dip(self):
+        adapter = RateAdapter(up_dwell=2)
+        adapter.observe(10.0)
+        low = adapter.current_rate_mbps
+        adapter.observe(30.0)
+        adapter.observe(10.0)
+        adapter.observe(30.0)
+        assert adapter.current_rate_mbps == low
+
+    def test_outage_drops_everything(self):
+        adapter = RateAdapter()
+        adapter.observe(25.0)
+        adapter.observe(-30.0)
+        assert adapter.current_mcs is None
+        assert adapter.current_rate_mbps == 0.0
+
+    def test_margin_respected(self):
+        adapter = RateAdapter(margin_db=3.0)
+        adapter.observe(20.0)
+        assert adapter.current_mcs.snr_threshold_db <= 17.0
+
+    def test_run_series(self):
+        adapter = RateAdapter()
+        rates = adapter.run([25.0, 25.0, 3.0, 25.0])
+        assert len(rates) == 4
+        assert rates[2] < rates[1]
+
+    def test_reset(self):
+        adapter = RateAdapter()
+        adapter.observe(25.0)
+        adapter.reset()
+        assert adapter.current_mcs is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateAdapter(up_dwell=0)
+        with pytest.raises(ValueError):
+            RateAdapter(margin_db=-1.0)
+
+
+class TestOutageFraction:
+    def test_always_good(self):
+        assert outage_fraction([30.0] * 10, 4000.0) == 0.0
+
+    def test_always_bad(self):
+        assert outage_fraction([0.0] * 10, 4000.0) == 1.0
+
+    def test_mixed(self):
+        series = [30.0] * 5 + [0.0] * 5
+        assert outage_fraction(series, 4000.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            outage_fraction([], 4000.0)
+        with pytest.raises(ValueError):
+            outage_fraction([10.0], 0.0)

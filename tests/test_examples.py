@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Only the fast examples run here (the session and planner examples take
+tens of seconds and are exercised by their underlying experiment tests
+instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 120) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_runs_and_tells_the_story(self):
+        out = run_example("quickstart.py")
+        assert "line of sight" in out
+        assert "GLITCH" in out  # the hand breaks the link
+        assert out.count("[OK]") >= 2  # LOS and the MoVR handoff
+
+
+class TestReflectorInstallation:
+    def test_runs_and_calibrates(self):
+        out = run_example("reflector_installation.py")
+        assert "incidence angle search" in out
+        assert "gain calibration" in out
+        assert "loop stable: True" in out

@@ -1,0 +1,136 @@
+"""Unit tests for decibel-domain arithmetic."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.db import (
+    amplitude_ratio_to_db,
+    db_mean_power,
+    db_sum_powers,
+    db_to_amplitude_ratio,
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+)
+
+
+class TestConversions:
+    def test_db_to_linear_known_values(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(-10.0) == pytest.approx(0.1)
+        assert db_to_linear(3.0) == pytest.approx(1.995, abs=0.01)
+
+    def test_linear_to_db_known_values(self):
+        assert linear_to_db(1.0) == pytest.approx(0.0)
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+        assert linear_to_db(0.5) == pytest.approx(-3.01, abs=0.01)
+
+    def test_linear_to_db_zero_is_minus_inf(self):
+        assert linear_to_db(0.0) == -math.inf
+
+    def test_linear_to_db_negative_is_minus_inf(self):
+        assert linear_to_db(-5.0) == -math.inf
+
+    def test_dbm_watts_known_values(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert watts_to_dbm(1.0) == pytest.approx(30.0)
+        assert watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_amplitude_uses_20log(self):
+        assert amplitude_ratio_to_db(10.0) == pytest.approx(20.0)
+        assert db_to_amplitude_ratio(20.0) == pytest.approx(10.0)
+        assert db_to_amplitude_ratio(6.0) == pytest.approx(1.995, abs=0.01)
+
+    def test_array_inputs(self):
+        arr = np.array([0.0, 10.0, 20.0])
+        out = db_to_linear(arr)
+        np.testing.assert_allclose(out, [1.0, 10.0, 100.0])
+        back = linear_to_db(out)
+        np.testing.assert_allclose(back, arr)
+
+    def test_array_with_zeros(self):
+        out = linear_to_db(np.array([1.0, 0.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == -math.inf
+
+    @given(st.floats(min_value=-200.0, max_value=200.0))
+    def test_power_round_trip(self, value_db):
+        assert linear_to_db(db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_dbm_round_trip(self, value_dbm):
+        assert watts_to_dbm(dbm_to_watts(value_dbm)) == pytest.approx(
+            value_dbm, abs=1e-9
+        )
+
+    @given(st.floats(min_value=-150.0, max_value=150.0))
+    def test_amplitude_round_trip(self, value_db):
+        assert amplitude_ratio_to_db(db_to_amplitude_ratio(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+
+class TestDbSumPowers:
+    def test_two_equal_powers_gain_3db(self):
+        assert db_sum_powers([10.0, 10.0]) == pytest.approx(13.0103, abs=1e-3)
+
+    def test_dominant_term_wins(self):
+        # A power 30 dB below another adds ~0.004 dB.
+        assert db_sum_powers([0.0, -30.0]) == pytest.approx(0.0043, abs=1e-3)
+
+    def test_ignores_minus_inf(self):
+        assert db_sum_powers([5.0, -math.inf]) == pytest.approx(5.0)
+
+    def test_empty_is_dark(self):
+        assert db_sum_powers([]) == -math.inf
+
+    def test_all_dark_is_dark(self):
+        assert db_sum_powers([-math.inf, -math.inf]) == -math.inf
+
+    @given(st.lists(st.floats(min_value=-100.0, max_value=100.0), min_size=1, max_size=8))
+    def test_sum_at_least_max(self, powers):
+        total = db_sum_powers(powers)
+        assert total >= max(powers) - 1e-9
+
+    @given(st.lists(st.floats(min_value=-100.0, max_value=100.0), min_size=1, max_size=8))
+    def test_sum_at_most_max_plus_10logn(self, powers):
+        total = db_sum_powers(powers)
+        bound = max(powers) + 10.0 * math.log10(len(powers))
+        assert total <= bound + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=-80.0, max_value=80.0), min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_sum_is_permutation_invariant(self, powers, rotation):
+        rotated = powers[rotation % len(powers):] + powers[: rotation % len(powers)]
+        assert db_sum_powers(rotated) == pytest.approx(db_sum_powers(powers), abs=1e-9)
+
+
+class TestDbMeanPower:
+    def test_equal_values_mean_is_value(self):
+        assert db_mean_power([7.0, 7.0, 7.0]) == pytest.approx(7.0)
+
+    def test_linear_domain_mean(self):
+        # mean of 10 dB (10x) and -inf (0x) is 5x = ~7 dB.
+        assert db_mean_power([10.0, -math.inf]) == pytest.approx(6.9897, abs=1e-3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            db_mean_power([])
+
+    def test_all_dark(self):
+        assert db_mean_power([-math.inf]) == -math.inf
+
+    @given(st.lists(st.floats(min_value=-60.0, max_value=60.0), min_size=1, max_size=10))
+    def test_mean_between_min_and_max(self, powers):
+        mean = db_mean_power(powers)
+        assert min(powers) - 1e-9 <= mean <= max(powers) + 1e-9

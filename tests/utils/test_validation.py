@@ -1,0 +1,86 @@
+"""Unit tests for argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    require_finite,
+    require_in_range,
+    require_int,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x")
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            require_positive(math.nan, "x")
+        with pytest.raises(ValueError):
+            require_positive(math.inf, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireFinite:
+    def test_coerces_to_float(self):
+        assert require_finite(3, "x") == 3.0
+        assert isinstance(require_finite(3, "x"), float)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            require_finite("hello", "x")
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValueError, match="snr"):
+            require_finite(math.inf, "snr")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            require_in_range(1.01, 0.0, 1.0, "x")
+
+    def test_probability_alias(self):
+        assert require_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            require_probability(2.0, "p")
+
+
+class TestRequireInt:
+    def test_accepts_int(self):
+        assert require_int(4, "n") == 4
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_int(4.0, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            require_int(0, "n", minimum=1)

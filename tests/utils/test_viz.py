@@ -1,0 +1,120 @@
+"""Unit tests for the text-mode visualizers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bodies import hand_occluder
+from repro.geometry.room import rectangular_room, standard_office
+from repro.geometry.shapes import AxisAlignedBox, Circle
+from repro.geometry.vectors import Vec2
+from repro.phy.antenna import PhasedArray
+from repro.utils.stats import EmpiricalCdf
+from repro.viz import (
+    render_beam_pattern,
+    render_cdf,
+    render_floor_plan,
+    render_snr_sweep,
+)
+
+
+class TestFloorPlan:
+    def test_markers_visible(self):
+        plan = render_floor_plan(
+            rectangular_room(5.0, 5.0),
+            markers=[("A", Vec2(0.3, 0.3)), ("H", Vec2(3.0, 3.0))],
+        )
+        assert "A" in plan and "H" in plan
+
+    def test_walls_drawn(self):
+        plan = render_floor_plan(rectangular_room(5.0, 5.0))
+        assert "." in plan
+        assert plan.startswith("+")
+
+    def test_furniture_rendered(self):
+        plan = render_floor_plan(standard_office())
+        assert "#" in plan  # desk/cabinet boxes
+        assert "=" in plan  # the whiteboard fixture
+
+    def test_occluder_symbols(self):
+        plan = render_floor_plan(
+            rectangular_room(5.0, 5.0),
+            extra_occluders=[hand_occluder(Vec2(2.5, 2.5), 0.0)],
+        )
+        assert "o" in plan
+
+    def test_marker_positions_roughly_correct(self):
+        plan = render_floor_plan(
+            rectangular_room(5.0, 5.0),
+            markers=[("A", Vec2(0.3, 0.3))],
+            width_chars=40,
+        )
+        lines = plan.splitlines()
+        # The AP is in the south-west corner: near the bottom-left.
+        row = next(i for i, line in enumerate(lines) if "A" in line)
+        assert row > len(lines) * 0.6
+        assert lines[row].index("A") < 8
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_floor_plan(rectangular_room(5.0, 5.0), width_chars=2)
+
+
+class TestBeamPattern:
+    def test_renders_bars(self):
+        arr = PhasedArray(boresight_deg=0.0)
+        text = render_beam_pattern(arr.pattern(steer_deg=0.0, resolution_deg=5.0))
+        assert "dBi" in text
+        assert "#" in text
+
+    def test_peak_has_longest_bar(self):
+        arr = PhasedArray(boresight_deg=0.0)
+        text = render_beam_pattern(
+            arr.pattern(steer_deg=0.0, resolution_deg=10.0)
+        )
+        lines = text.splitlines()
+        lengths = {line.split("deg")[0].strip(): line.count("#") for line in lines}
+        peak_len = max(lengths.values())
+        assert lengths.get("0.0", 0) == peak_len
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            render_beam_pattern(np.zeros((4, 3)))
+
+
+class TestCdf:
+    def test_monotone_bars(self):
+        cdf = EmpiricalCdf.from_samples(list(range(100)))
+        text = render_cdf(cdf, label="test")
+        lines = text.splitlines()
+        assert lines[0] == "CDF test"
+        bar_lengths = [line.count("#") for line in lines[1:]]
+        assert bar_lengths == sorted(bar_lengths)
+
+    def test_constant_samples(self):
+        cdf = EmpiricalCdf.from_samples([5.0, 5.0, 5.0])
+        text = render_cdf(cdf)
+        assert "5.00" in text
+
+    def test_rows_validated(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_cdf(cdf, num_rows=1)
+
+
+class TestSnrSweep:
+    def test_threshold_markers(self):
+        text = render_snr_sweep(
+            [0.0, 10.0, 20.0], [5.0, 15.0, 25.0], threshold_db=13.0
+        )
+        assert "[--]" in text
+        assert "[ok]" in text
+
+    def test_no_threshold(self):
+        text = render_snr_sweep([0.0, 10.0], [5.0, 15.0])
+        assert "[ok]" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_snr_sweep([0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_snr_sweep([], [])

@@ -1,0 +1,60 @@
+"""Unit tests for the headset and console nodes."""
+
+import pytest
+
+from repro.geometry.mobility import PoseSample
+from repro.geometry.vectors import Vec2, bearing_deg
+from repro.vr.console import ConsoleSpec, GameConsole, corner_console
+from repro.vr.headset import RECEIVER_MOUNT_OFFSET_M, Headset
+
+
+class TestHeadset:
+    def make(self, x=2.0, y=2.0, yaw=0.0):
+        return Headset(PoseSample(time_s=0.0, position=Vec2(x, y), yaw_deg=yaw))
+
+    def test_receiver_mounted_forward(self):
+        headset = self.make(yaw=0.0)
+        assert headset.receiver_position.x == pytest.approx(
+            2.0 + RECEIVER_MOUNT_OFFSET_M
+        )
+        assert headset.position == Vec2(2.0, 2.0)
+
+    def test_update_pose_moves_receiver(self):
+        headset = self.make()
+        headset.update_pose(PoseSample(1.0, Vec2(3.0, 3.0), 90.0))
+        assert headset.receiver_position.x == pytest.approx(3.0, abs=1e-9)
+        assert headset.receiver_position.y == pytest.approx(
+            3.0 + RECEIVER_MOUNT_OFFSET_M
+        )
+        assert headset.yaw_deg == 90.0
+        assert headset.radio.boresight_deg == 90.0
+
+    def test_rate_requirement(self):
+        headset = self.make()
+        assert headset.required_rate_mbps == pytest.approx(4000.0, abs=150.0)
+        assert headset.link_supports_vr(6756.0)
+        assert not headset.link_supports_vr(2000.0)
+
+    def test_radio_has_panel_coverage(self):
+        headset = self.make()
+        for azimuth in (-170.0, -90.0, 0.0, 90.0, 170.0):
+            assert headset.radio.array.can_steer_to(azimuth)
+
+
+class TestConsole:
+    def test_corner_console_faces_room(self):
+        console = corner_console()
+        expected = bearing_deg(Vec2(0.3, 0.3), Vec2(2.5, 2.5))
+        assert console.ap.boresight_deg == pytest.approx(expected)
+
+    def test_aim_at(self):
+        console = corner_console()
+        achieved = console.aim_at(Vec2(2.5, 2.5))
+        assert achieved == pytest.approx(45.0)
+
+    def test_bearing_to(self):
+        console = corner_console()
+        assert console.bearing_to(Vec2(0.3, 5.0)) == pytest.approx(90.0)
+
+    def test_render_latency_inside_frame_budget(self):
+        assert ConsoleSpec().render_latency_s < 0.010
