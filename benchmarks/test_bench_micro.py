@@ -4,7 +4,6 @@ These time the primitives that dominate the figure regenerations —
 useful when optimizing and as a regression guard on simulation cost.
 """
 
-import numpy as np
 
 from repro.core.angle_search import BackscatterAngleSearch
 from repro.core.reflector import MoVRReflector

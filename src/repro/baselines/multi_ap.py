@@ -14,11 +14,10 @@ reports next to MoVR's single AP plus passive-ish reflectors.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from repro.geometry.room import Occluder, Room
+from repro.geometry.room import Occluder
 from repro.geometry.vectors import Vec2, bearing_deg
 from repro.link.budget import LinkBudget, LinkMeasurement
 from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio, RadioConfig
@@ -91,7 +90,7 @@ class MultiApBaseline:
         """Best direct link over all deployed APs."""
         best: Optional[Tuple[LinkMeasurement, int]] = None
         for index, ap in enumerate(self.aps):
-            los = self.budget.tracer.line_of_sight(
+            los = self.budget.cache.line_of_sight(
                 ap.position, headset_radio.position, extra_occluders
             )
             m = self.budget.measure_aligned(

@@ -16,13 +16,12 @@ Three strategies the paper considers and rejects (section 3):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence
 
 from repro.geometry.room import Occluder
-from repro.geometry.vectors import Vec2, bearing_deg
-from repro.link.beams import DEFAULT_PROBE_TIME_S, Codebook
+from repro.geometry.vectors import Vec2
+from repro.link.beams import DEFAULT_PROBE_TIME_S
 from repro.link.budget import LinkBudget, LinkMeasurement
 from repro.link.radios import Radio
 
@@ -123,7 +122,7 @@ class DualAntennaBaseline:
             # The player's own head always occludes the hemisphere
             # behind each antenna.
             occluders = list(extra_occluders) + [head_occluder(head_position)]
-            los = self.budget.tracer.line_of_sight(ap.position, radio.position, occluders)
+            los = self.budget.cache.line_of_sight(ap.position, radio.position, occluders)
             m = self.budget.measure_aligned(ap, radio, los, extra_occluders=occluders)
             snrs.append(m.snr_db)
         return DualAntennaResult(front_snr_db=snrs[0], back_snr_db=snrs[1])

@@ -16,7 +16,7 @@ comparison benchmark quantifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.geometry.room import METAL, Occluder, Room, Wall
 from repro.geometry.shapes import Segment
@@ -74,26 +74,18 @@ class StaticMirrorBaseline:
         extra_occluders: Sequence[Occluder] = (),
     ) -> LinkMeasurement:
         """Best link through a mirror panel (LOS blocked scenario)."""
-        paths = self.tracer.reflection_paths(
+        paths = self.budget.cache.reflection_paths(
             tx.position, rx.position, max_bounces=2, extra_occluders=extra_occluders
         )
         mirror_paths = [p for p in paths if self._is_mirror_path(p)]
-        best: Optional[LinkMeasurement] = None
-        for path in mirror_paths:
-            m = self.budget.measure_aligned(tx, rx, path, extra_occluders=extra_occluders)
-            if best is None or m.snr_db > best.snr_db:
-                best = m
-        if best is None:
-            import math
-
-            return LinkMeasurement(
-                received_power_dbm=-math.inf,
-                snr_db=-math.inf,
-                dominant_path=None,
-                tx_steer_deg=tx.steering_deg,
-                rx_steer_deg=rx.steering_deg,
-            )
-        return best
+        if not mirror_paths:
+            return LinkMeasurement.outage(tx.steering_deg, rx.steering_deg)
+        return self.budget.best_alignment(
+            tx,
+            rx,
+            extra_occluders=extra_occluders,
+            candidate_paths=mirror_paths,
+        )
 
 
 def wall_panel(

@@ -16,9 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
 
-import numpy as np
 
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import (

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.control.bluetooth import BleLink
 from repro.core.gain_control import CurrentSensingGainController, GainControlResult

@@ -30,15 +30,15 @@ the test suite:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.core.reflector import MoVRReflector
 from repro.geometry.raytrace import RayTracer
 from repro.geometry.vectors import bearing_deg
-from repro.link.beams import Codebook, SweepResult, exhaustive_joint_sweep
+from repro.link.beams import Codebook, exhaustive_joint_sweep
 from repro.link.radios import Radio
 from repro.phy.channel import MmWaveChannel
 from repro.phy.signals import ToneProbe, add_awgn, band_power, ook_modulate, tone
@@ -135,6 +135,37 @@ class BackscatterAngleSearch:
             - self.ap.config.implementation_loss_db
         )
 
+    def round_trip_power_dbm_batch(self, ap_steer_deg, reflector_proto_deg) -> np.ndarray:
+        """Vectorized :meth:`round_trip_power_dbm` over broadcast grids.
+
+        The reflector's beam state is not mutated; trial steerings go
+        through the same scan clipping and quantization as
+        ``set_beams`` via the state-free batch kernels.
+        """
+        self.reflector.amplifier.set_gain_db(self.search_gain_db)
+        proto = np.asarray(reflector_proto_deg, dtype=float)
+        refl_azimuth = self.reflector.prototype_to_azimuth(proto)
+        one_way_gain = self.channel.path_gain_db(self._path)
+        ap_gain = self.ap.array.gain_dbi_batch(
+            self._bearing_ap_to_refl, np.asarray(ap_steer_deg, dtype=float)
+        )
+        through = self.reflector.through_gain_db_batch(
+            self._bearing_refl_to_ap,
+            self._bearing_refl_to_ap,
+            rx_steer_azimuth_deg=refl_azimuth,
+            tx_steer_azimuth_deg=refl_azimuth,
+        )
+        # NaN marks an unstable loop: same weak-echo model as the
+        # scalar probe.
+        through = np.where(np.isnan(through), 0.0, through)
+        return (
+            self.ap.config.tx_power_dbm
+            + 2.0 * ap_gain
+            + 2.0 * one_way_gain
+            + through
+            - self.ap.config.implementation_loss_db
+        )
+
     def _noise_in_band_dbm(self) -> float:
         """AP noise power inside the sideband measurement filter."""
         return (
@@ -158,6 +189,21 @@ class BackscatterAngleSearch:
         noise = self._rng.normal(0.0, math.sqrt(p_noise / 2.0), 2)
         estimate = (math.sqrt(p_signal) + noise[0]) ** 2 + noise[1] ** 2
         return 10.0 * math.log10(max(estimate, 1e-30))
+
+    def measure_sideband_dbm_batch(self, ap_steer_deg, reflector_proto_deg) -> np.ndarray:
+        """Whole probe grids at once (analytic noise model only).
+
+        One noise pair is drawn per probe, exactly as the sequential
+        protocol does, so every entry follows the same non-central
+        chi-square distribution as :meth:`measure_sideband_dbm`.
+        """
+        echo_dbm = self.round_trip_power_dbm_batch(ap_steer_deg, reflector_proto_deg)
+        sideband_dbm = echo_dbm + 10.0 * math.log10(OOK_SIDEBAND_FRACTION)
+        p_signal = 10.0 ** (sideband_dbm / 10.0)
+        p_noise = 10.0 ** (self._noise_in_band_dbm() / 10.0)
+        noise = self._rng.normal(0.0, math.sqrt(p_noise / 2.0), (2,) + p_signal.shape)
+        estimate = (np.sqrt(p_signal) + noise[0]) ** 2 + noise[1] ** 2
+        return 10.0 * np.log10(np.maximum(estimate, 1e-30))
 
     def _measure_signal_level(self, echo_dbm: float, noise_in_band_dbm: float) -> float:
         """Full DSP probe: synthesize the capture and FFT-filter it."""
@@ -206,10 +252,15 @@ class BackscatterAngleSearch:
             self.ap.boresight_deg - scan, self.ap.boresight_deg + scan, ap_step_deg
         )
 
-        def metric(ap_deg: float, refl_deg: float) -> float:
-            return self.measure_sideband_dbm(ap_deg, refl_deg)
-
-        sweep = exhaustive_joint_sweep(ap_codebook, refl_codebook, metric)
+        if self.signal_level:
+            # The DSP probe synthesizes one capture at a time.
+            sweep = exhaustive_joint_sweep(
+                ap_codebook, refl_codebook, self.measure_sideband_dbm
+            )
+        else:
+            sweep = exhaustive_joint_sweep(
+                ap_codebook, refl_codebook, batch_metric=self.measure_sideband_dbm_batch
+            )
         truth_refl = self.reflector.azimuth_to_prototype(self._bearing_refl_to_ap)
         truth_ap = self._bearing_ap_to_refl
         return AngleSearchResult(
@@ -243,21 +294,16 @@ class BackscatterAngleSearch:
             self.ap.boresight_deg + scan + ap_step_deg / 2.0,
             ap_step_deg,
         )
-        ap_gain = np.asarray(
-            [
-                self.ap.tx_gain_dbi(self._bearing_ap_to_refl, steer_override_deg=a)
-                for a in ap_angles
-            ]
+        ap_gain = self.ap.array.gain_dbi_batch(self._bearing_ap_to_refl, ap_angles)
+        self.reflector.amplifier.set_gain_db(self.search_gain_db)
+        refl_azimuths = self.reflector.prototype_to_azimuth(refl_angles)
+        through = self.reflector.through_gain_db_batch(
+            self._bearing_refl_to_ap,
+            self._bearing_refl_to_ap,
+            rx_steer_azimuth_deg=refl_azimuths,
+            tx_steer_azimuth_deg=refl_azimuths,
         )
-        through = np.empty(refl_angles.size)
-        for j, proto in enumerate(refl_angles):
-            azimuth = self.reflector.prototype_to_azimuth(float(proto))
-            self.reflector.set_beams(azimuth, azimuth)
-            self.reflector.amplifier.set_gain_db(self.search_gain_db)
-            t = self.reflector.through_gain_db(
-                self._bearing_refl_to_ap, self._bearing_refl_to_ap
-            )
-            through[j] = 0.0 if t is None else t
+        through = np.where(np.isnan(through), 0.0, through)
         one_way = self.channel.path_gain_db(self._path)
         const = (
             self.ap.config.tx_power_dbm
@@ -265,11 +311,15 @@ class BackscatterAngleSearch:
             - self.ap.config.implementation_loss_db
             + 10.0 * math.log10(OOK_SIDEBAND_FRACTION)
         )
-        sideband_dbm = const + 2.0 * ap_gain[:, None] + through[None, :]
-        p_signal = 10.0 ** (sideband_dbm / 10.0)
+        # The sideband power separates into an AP term and a reflector
+        # term, so its amplitude grid is an outer product of two short
+        # vectors — no dB->linear conversion of the full grid needed.
+        amplitude = 10.0 ** (const / 20.0) * np.outer(
+            10.0 ** (ap_gain / 10.0), 10.0 ** (through / 20.0)
+        )
         p_noise = 10.0 ** (self._noise_in_band_dbm() / 10.0)
-        noise = self._rng.normal(0.0, math.sqrt(p_noise / 2.0), (2,) + p_signal.shape)
-        estimate = (np.sqrt(p_signal) + noise[0]) ** 2 + noise[1] ** 2
+        noise = self._rng.normal(0.0, math.sqrt(p_noise / 2.0), (2,) + amplitude.shape)
+        estimate = (amplitude + noise[0]) ** 2 + noise[1] ** 2
         flat = int(np.argmax(estimate))
         i, j = np.unravel_index(flat, estimate.shape)
         return AngleSearchResult(
@@ -361,6 +411,47 @@ class ReflectionAngleSearch:
         estimate = (math.sqrt(p_signal) + noise[0]) ** 2 + noise[1] ** 2
         return 10.0 * math.log10(max(estimate, 1e-30))
 
+    def sideband_at_headset_dbm_batch(
+        self, reflector_tx_proto_deg, headset_steer_deg
+    ) -> np.ndarray:
+        """Vectorized :meth:`sideband_at_headset_dbm` over broadcast grids."""
+        self.reflector.amplifier.set_gain_db(self.search_gain_db)
+        tx_azimuth = self.reflector.prototype_to_azimuth(
+            np.asarray(reflector_tx_proto_deg, dtype=float)
+        )
+        through = self.reflector.through_gain_db_batch(
+            self._bearing_refl_to_ap,
+            self._bearing_refl_to_hs,
+            rx_steer_azimuth_deg=self._bearing_refl_to_ap,
+            tx_steer_azimuth_deg=tx_azimuth,
+        )
+        through = np.where(np.isnan(through), 0.0, through)
+        ap_gain = self.ap.tx_gain_dbi(
+            bearing_deg(self.ap.position, self.reflector.position)
+        )
+        hs_gain = self.headset_radio.array.gain_dbi_batch(
+            self._bearing_hs_to_refl, np.asarray(headset_steer_deg, dtype=float)
+        )
+        power_dbm = (
+            self.ap.config.tx_power_dbm
+            + ap_gain
+            + self.channel.path_gain_db(self._feed_path)
+            + through
+            + self.channel.path_gain_db(self._out_path)
+            + hs_gain
+            - self.ap.config.implementation_loss_db
+        )
+        sideband_dbm = power_dbm + 10.0 * math.log10(OOK_SIDEBAND_FRACTION)
+        noise_dbm = (
+            thermal_noise_dbm(self.probe.measurement_bw_hz)
+            + self.headset_radio.config.noise_figure_db
+        )
+        p_signal = 10.0 ** (sideband_dbm / 10.0)
+        p_noise = 10.0 ** (noise_dbm / 10.0)
+        noise = self._rng.normal(0.0, math.sqrt(p_noise / 2.0), (2,) + p_signal.shape)
+        estimate = (np.sqrt(p_signal) + noise[0]) ** 2 + noise[1] ** 2
+        return 10.0 * np.log10(np.maximum(estimate, 1e-30))
+
     def estimate_reflection_angle(
         self,
         reflector_step_deg: float = 1.0,
@@ -375,10 +466,12 @@ class ReflectionAngleSearch:
             headset_step_deg,
         )
 
-        def metric(hs_deg: float, refl_deg: float) -> float:
-            return self.sideband_at_headset_dbm(refl_deg, hs_deg)
+        def batch_metric(hs_deg: np.ndarray, refl_deg: np.ndarray) -> np.ndarray:
+            return self.sideband_at_headset_dbm_batch(refl_deg, hs_deg)
 
-        sweep = exhaustive_joint_sweep(hs_codebook, refl_codebook, metric)
+        sweep = exhaustive_joint_sweep(
+            hs_codebook, refl_codebook, batch_metric=batch_metric
+        )
         truth_refl = self.reflector.azimuth_to_prototype(self._bearing_refl_to_hs)
         return AngleSearchResult(
             reflector_angle_deg=sweep.best_rx_deg,

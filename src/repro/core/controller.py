@@ -12,8 +12,8 @@ exposes per-instant link decisions for the experiments.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.core.gain_control import CurrentSensingGainController, GainControlResult
 from repro.core.reflector import MoVRReflector
@@ -127,7 +127,7 @@ class MoVRSystem:
         extra_occluders: Sequence[Occluder] = (),
     ) -> LinkMeasurement:
         """The direct AP <-> headset link, both beams on the LOS path."""
-        los = self.tracer.line_of_sight(
+        los = self.budget.cache.line_of_sight(
             self.ap.position, headset_radio.position, extra_occluders
         )
         return self.budget.measure_aligned(
@@ -159,14 +159,14 @@ class MoVRSystem:
     ) -> float:
         """Signal power at the reflector's amplifier input port."""
         if self.elevated_mounting:
-            feed = self.tracer.line_of_sight(
+            feed = self.budget.cache.line_of_sight(
                 self.ap.position,
                 reflector.position,
                 (),
                 include_room_occluders=False,
             )
         else:
-            feed = self.tracer.line_of_sight(
+            feed = self.budget.cache.line_of_sight(
                 self.ap.position, reflector.position, extra_occluders
             )
         ap_steer = bearing_deg(self.ap.position, reflector.position)
@@ -201,7 +201,7 @@ class MoVRSystem:
         amp_output = reflector.output_power_dbm(amp_input)
         stable = reflector.is_stable()
         if self.elevated_mounting:
-            out_path = self.tracer.line_of_sight(
+            out_path = self.budget.cache.line_of_sight(
                 reflector.position,
                 headset_radio.position,
                 self._headset_local_occluders(
@@ -210,7 +210,7 @@ class MoVRSystem:
                 include_room_occluders=False,
             )
         else:
-            out_path = self.tracer.line_of_sight(
+            out_path = self.budget.cache.line_of_sight(
                 reflector.position, headset_radio.position, extra_occluders
             )
         tx_gain = reflector.tx_array.gain_dbi(out_path.departure_angle_deg)

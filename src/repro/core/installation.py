@@ -9,8 +9,8 @@ not exceptional), and records per-reflector timing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.control.bluetooth import BleConfig, BleLink
 from repro.control.protocol import CoordinatorState, ReflectorCoordinator

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -68,6 +67,11 @@ class ReflectorLeakageModel:
         self._separation_loss_db = free_space_path_loss_db(
             self.antenna_separation_m, self.array.carrier_hz
         )
+        # Memo for batch queries: the coupling depends only on the
+        # angle grids (the model itself is stateless), and sweeps ask
+        # for the same prototype-angle grid over and over.  Assumes the
+        # dataclass fields are not mutated after first use.
+        self._batch_memo: dict = {}
 
     def leakage_db(self, tx_angle_deg: float, rx_angle_deg: float) -> float:
         """Coupling gain (negative dB) for a beam-angle pair.
@@ -97,6 +101,39 @@ class ReflectorLeakageModel:
         scatter = -self.scatterer_coupling_db + 4.0 * convergence
         board = -self.board_isolation_db
         return db_sum_powers([over_air, scatter, board])
+
+    def leakage_db_batch(self, tx_angle_deg, rx_angle_deg) -> np.ndarray:
+        """Vectorized :meth:`leakage_db` over broadcast angle grids.
+
+        Same three coupling mechanisms, computed for every angle pair
+        in one shot — the kernel behind the batched angle search,
+        where leakage sets the closed-loop gain at each trial beam.
+        """
+        tx = np.asarray(tx_angle_deg, dtype=float)
+        rx = np.asarray(rx_angle_deg, dtype=float)
+        key = (tx.shape, tx.tobytes(), rx.shape, rx.tobytes())
+        memo = self._batch_memo.get(key)
+        if memo is not None:
+            return memo
+        for name, arr in (("tx_angle_deg", tx), ("rx_angle_deg", rx)):
+            if np.any(arr < MIN_ANGLE_DEG) or np.any(arr > MAX_ANGLE_DEG):
+                raise ValueError(
+                    f"{name} must be within [{MIN_ANGLE_DEG}, {MAX_ANGLE_DEG}]"
+                )
+        graze = self.grazing_angle_deg
+        tx_rel = self._tx_array.relative_pattern_db_batch(graze, steer_deg=tx)
+        rx_rel = self._rx_array.relative_pattern_db_batch(180.0 - graze, steer_deg=rx)
+        over_air = -self.edge_diffraction_loss_db + tx_rel + rx_rel
+        convergence = np.cos(np.radians(tx - rx))
+        scatter = -self.scatterer_coupling_db + 4.0 * convergence
+        board = -self.board_isolation_db
+        stacked = np.stack(np.broadcast_arrays(over_air, scatter, np.full_like(over_air, board)))
+        result = np.asarray(db_sum_powers(stacked, axis=0))
+        result.flags.writeable = False
+        if len(self._batch_memo) >= 64:
+            self._batch_memo.clear()
+        self._batch_memo[key] = result
+        return result
 
     def leakage_curve(
         self,

@@ -10,7 +10,6 @@ tracking information" fast path robust to control latency.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 

@@ -22,8 +22,10 @@ Two angle conventions coexist:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.core.leakage import (
     BROADSIDE_DEG,
@@ -37,12 +39,17 @@ from repro.phy.amplifier import (
     AmplifierSpec,
     VariableGainAmplifier,
     closed_loop_gain_db,
+    closed_loop_gain_db_batch,
     loop_is_stable,
 )
 from repro.phy.antenna import PhasedArray, PhasedArrayConfig
 from repro.phy.noise import ReceiverNoise
 from repro.utils.db import db_sum_powers
-from repro.utils.units import IEEE80211AD_BANDWIDTH_HZ, angle_difference_deg
+from repro.utils.units import (
+    IEEE80211AD_BANDWIDTH_HZ,
+    angle_difference_deg,
+    angle_difference_deg_batch,
+)
 
 #: The reflector arrays scan +/-50 degrees, i.e. prototype angles 40-140
 #: (the sweep range of Figs. 7 and 8 of the paper).
@@ -102,6 +109,11 @@ class MoVRReflector:
         relative = angle_difference_deg(azimuth_deg, self.boresight_deg)
         proto = BROADSIDE_DEG + relative
         return min(MAX_ANGLE_DEG, max(MIN_ANGLE_DEG, proto))
+
+    def azimuth_to_prototype_batch(self, azimuth_deg) -> np.ndarray:
+        """Vectorized :meth:`azimuth_to_prototype`."""
+        relative = angle_difference_deg_batch(azimuth_deg, self.boresight_deg)
+        return np.clip(BROADSIDE_DEG + relative, MIN_ANGLE_DEG, MAX_ANGLE_DEG)
 
     def prototype_to_azimuth(self, proto_deg: float) -> float:
         """Prototype angle -> scene azimuth."""
@@ -232,6 +244,37 @@ class MoVRReflector:
             return None
         rx_gain = self.rx_array.gain_dbi(from_azimuth_deg)
         tx_gain = self.tx_array.gain_dbi(to_azimuth_deg)
+        return rx_gain + effective + tx_gain
+
+    def through_gain_db_batch(
+        self,
+        from_azimuth_deg,
+        to_azimuth_deg,
+        rx_steer_azimuth_deg=None,
+        tx_steer_azimuth_deg=None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`through_gain_db` over trial beam settings.
+
+        ``rx_steer_azimuth_deg``/``tx_steer_azimuth_deg`` default to the
+        current beam state; passing arrays sweeps candidate steerings
+        without mutating the reflector (the batched equivalent of
+        set-beams-then-measure loops).  Entries whose leakage would make
+        the loop unstable come back as ``NaN`` — callers decide what an
+        oscillating probe is worth.
+        """
+        if rx_steer_azimuth_deg is None:
+            rx_steer_azimuth_deg = self.rx_array.steering_deg
+        if tx_steer_azimuth_deg is None:
+            tx_steer_azimuth_deg = self.tx_array.steering_deg
+        achieved_rx = self.rx_array.steer_to_batch(rx_steer_azimuth_deg)
+        achieved_tx = self.tx_array.steer_to_batch(tx_steer_azimuth_deg)
+        rx_gain = self.rx_array.gain_dbi_batch(from_azimuth_deg, steer_deg=achieved_rx)
+        tx_gain = self.tx_array.gain_dbi_batch(to_azimuth_deg, steer_deg=achieved_tx)
+        leak = self.leakage_model.leakage_db_batch(
+            self.azimuth_to_prototype_batch(achieved_tx),
+            self.azimuth_to_prototype_batch(achieved_rx),
+        )
+        effective = closed_loop_gain_db_batch(self.amplifier.gain_db, leak)
         return rx_gain + effective + tx_gain
 
     def __repr__(self) -> str:

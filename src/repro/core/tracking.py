@@ -17,8 +17,8 @@ search.  The ablation benchmark quantifies the probe-count savings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.geometry.vectors import Vec2, bearing_deg
 from repro.link.beams import Codebook, single_sided_sweep

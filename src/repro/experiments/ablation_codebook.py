@@ -16,7 +16,6 @@ for it twice at search time.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.experiments.harness import ExperimentReport
 from repro.link.codebook_design import (
@@ -25,6 +24,7 @@ from repro.link.codebook_design import (
     search_cost_frames,
 )
 from repro.phy.antenna import PhasedArray, PhasedArrayConfig
+from repro.sim.counters import COUNTERS
 
 #: Array sizes swept (the prototype uses 16 elements).
 ELEMENT_COUNTS = (8, 16, 32)
@@ -36,6 +36,7 @@ def run_ablation_codebook(
     """Codebook size and search cost across array apertures."""
     if max_scalloping_db <= 0.0:
         raise ValueError("max_scalloping_db must be positive")
+    COUNTERS.reset()
     report = ExperimentReport(
         experiment_id="ablation-codebook",
         title="Codebook granularity: beams, coverage, search cost",
@@ -90,4 +91,5 @@ def run_ablation_codebook(
         > results[8][1].worst_gain_dbi,
         "aperture gain outruns scalloping",
     )
+    report.attach_perf()
     return report

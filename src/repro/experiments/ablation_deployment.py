@@ -12,9 +12,7 @@ coverage under blockage:
 
 from __future__ import annotations
 
-from typing import List, Sequence
 
-import numpy as np
 
 from repro.core.controller import MoVRSystem
 from repro.core.reflector import MoVRReflector
@@ -26,10 +24,9 @@ from repro.experiments.testbed import (
 )
 from repro.geometry.room import standard_office
 from repro.geometry.vectors import Vec2, bearing_deg
-from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio, RadioConfig
+from repro.link.radios import Radio, RadioConfig
 from repro.phy.antenna import PhasedArrayConfig
 from repro.phy.channel import MmWaveChannel
-from repro.rate.mcs import data_rate_mbps_for_snr
 from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.vr.traffic import DEFAULT_TRAFFIC
 

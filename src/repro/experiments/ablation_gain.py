@@ -28,7 +28,7 @@ from repro.core.gain_control import (
 )
 from repro.core.reflector import MoVRReflector
 from repro.experiments.harness import ExperimentReport
-from repro.geometry.vectors import Vec2, bearing_deg
+from repro.geometry.vectors import Vec2
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 

@@ -18,16 +18,14 @@ against each threshold and reports glitch rate and handoff count.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-import numpy as np
 
 from repro.experiments.e2e_session import _sample_blockage_events
 from repro.experiments.harness import ExperimentReport
 from repro.experiments.testbed import Testbed, default_testbed
 from repro.geometry.mobility import VrPlayerMotion
 from repro.link.radios import HEADSET_RADIO_CONFIG, Radio
-from repro.rate.mcs import data_rate_mbps_for_snr
 from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.vr.traffic import DEFAULT_TRAFFIC
 

@@ -15,24 +15,22 @@ Metrics: probe count, implied sweep latency, and alignment error.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 
 from repro.core.angle_search import BackscatterAngleSearch
+from repro.core.leakage import ReflectorLeakageModel
+from repro.core.reflector import REFLECTOR_ARRAY
 from repro.experiments.fig8_alignment import _random_reflector
 from repro.experiments.harness import ExperimentReport
 from repro.geometry.raytrace import RayTracer
 from repro.geometry.room import standard_office
 from repro.geometry.vectors import Vec2
-from repro.link.beams import (
-    DEFAULT_PROBE_TIME_S,
-    Codebook,
-    exhaustive_joint_sweep,
-    hierarchical_joint_sweep,
-)
+from repro.link.beams import DEFAULT_PROBE_TIME_S, Codebook, exhaustive_joint_sweep
 from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio
 from repro.phy.channel import MmWaveChannel
+from repro.sim.counters import COUNTERS
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 
@@ -43,6 +41,7 @@ def run_ablation_search(
     """Compare joint-search strategies on the alignment task."""
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
+    COUNTERS.reset()
     rng = make_rng(seed)
     room = standard_office(furnished=False)
     tracer = RayTracer(room)
@@ -53,9 +52,10 @@ def run_ablation_search(
     errors: Dict[str, List[float]] = {s: [] for s in strategies}
     probes: Dict[str, List[int]] = {s: [] for s in strategies}
 
+    shared_leakage = ReflectorLeakageModel(array=REFLECTOR_ARRAY)
     for run in range(num_runs):
         run_rng = child_rng(rng, run)
-        reflector = _random_reflector(run_rng, ap.position)
+        reflector = _random_reflector(run_rng, ap.position, leakage=shared_leakage)
         search = BackscatterAngleSearch(
             ap, reflector, tracer, channel, rng=run_rng
         )
@@ -63,8 +63,9 @@ def run_ablation_search(
             search._bearing_refl_to_ap
         )
 
-        def metric(ap_deg: float, refl_deg: float) -> float:
-            return search.measure_sideband_dbm(ap_deg, refl_deg)
+        # Each probe grid is evaluated in one vectorized call; per-probe
+        # noise statistics match the sequential protocol exactly.
+        batch_metric = search.measure_sideband_dbm_batch
 
         scan = ap.config.array.max_scan_deg
         ap_lo, ap_hi = ap.boresight_deg - scan, ap.boresight_deg + scan
@@ -74,21 +75,21 @@ def run_ablation_search(
                 sweep = exhaustive_joint_sweep(
                     Codebook.uniform(ap_lo, ap_hi, 3.0),
                     Codebook.uniform(40.0, 140.0, 1.0),
-                    metric,
+                    batch_metric=batch_metric,
                 )
                 estimate, count = sweep.best_rx_deg, sweep.num_probes
             elif name == "exhaustive-3deg":
                 sweep = exhaustive_joint_sweep(
                     Codebook.uniform(ap_lo, ap_hi, 3.0),
                     Codebook.uniform(40.0, 140.0, 3.0),
-                    metric,
+                    batch_metric=batch_metric,
                 )
                 estimate, count = sweep.best_rx_deg, sweep.num_probes
             else:
                 coarse = exhaustive_joint_sweep(
                     Codebook.uniform(ap_lo, ap_hi, 10.0),
                     Codebook.uniform(40.0, 140.0, 10.0),
-                    metric,
+                    batch_metric=batch_metric,
                 )
                 fine = exhaustive_joint_sweep(
                     Codebook.uniform(
@@ -101,7 +102,7 @@ def run_ablation_search(
                         min(140.0, coarse.best_rx_deg + 6.0),
                         1.0,
                     ),
-                    metric,
+                    batch_metric=batch_metric,
                 )
                 estimate = (
                     fine.best_rx_deg
@@ -148,4 +149,5 @@ def run_ablation_search(
         f"3 deg steps: {float(np.mean(errors['exhaustive-3deg'])):.2f} deg "
         f"mean error",
     )
+    report.attach_perf()
     return report

@@ -17,9 +17,7 @@ plus reflectors per *room*; walls are hard boundaries.
 
 from __future__ import annotations
 
-from typing import List
 
-import numpy as np
 
 from repro.core.controller import MoVRSystem
 from repro.core.reflector import MoVRReflector
@@ -29,7 +27,6 @@ from repro.geometry.shapes import Segment
 from repro.geometry.vectors import Vec2, bearing_deg
 from repro.link.radios import DEFAULT_RADIO_CONFIG, HEADSET_RADIO_CONFIG, Radio
 from repro.phy.channel import MmWaveChannel
-from repro.rate.mcs import data_rate_mbps_for_snr
 from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.vr.traffic import DEFAULT_TRAFFIC
 

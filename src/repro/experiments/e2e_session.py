@@ -15,7 +15,7 @@ required rate — becomes a measured glitch-rate gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.experiments.testbed import (
 )
 from repro.geometry.mobility import VrPlayerMotion
 from repro.geometry.room import Occluder
-from repro.geometry.vectors import Vec2, bearing_deg
+from repro.geometry.vectors import Vec2
 from repro.link.events import Simulator
 from repro.link.radios import HEADSET_RADIO_CONFIG, Radio
 from repro.rate.adaptation import RateAdapter

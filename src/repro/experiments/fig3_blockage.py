@@ -18,7 +18,7 @@ Paper shape targets:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.experiments.testbed import (
 )
 from repro.phy.ofdm import OfdmModem, measure_link_snr_db
 from repro.rate.mcs import data_rate_mbps_for_snr
+from repro.sim.counters import COUNTERS
 from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.vr.traffic import DEFAULT_TRAFFIC
 
@@ -75,6 +76,7 @@ def run_fig3(
     """Regenerate both panels of Fig. 3 (SNR bars and rate bars)."""
     if num_placements < 1:
         raise ValueError("num_placements must be >= 1")
+    COUNTERS.reset()
     rng = make_rng(seed)
     bed = testbed if testbed is not None else default_testbed(seed=child_rng(rng, 0))
     system = bed.system
@@ -162,4 +164,5 @@ def run_fig3(
         and float(np.mean(samples.rate_mbps["NLOS"])) < required_rate,
         f"measured NLOS drop {nlos_drop:.1f} dB",
     )
+    report.attach_perf()
     return report

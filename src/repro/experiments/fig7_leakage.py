@@ -13,7 +13,7 @@ sweeping the TX beam from 40 to 140 degrees, at two RX beam angles
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -13,12 +13,13 @@ results in a negligible loss in SNR".
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.angle_search import BackscatterAngleSearch
-from repro.core.reflector import MoVRReflector
+from repro.core.leakage import ReflectorLeakageModel
+from repro.core.reflector import REFLECTOR_ARRAY, MoVRReflector
 from repro.geometry.raytrace import RayTracer
 from repro.geometry.room import standard_office
 from repro.geometry.vectors import Vec2, bearing_deg
@@ -27,12 +28,22 @@ from repro.experiments.testbed import PLACEMENT_MARGIN_M, ROOM_SIZE_M
 from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio
 from repro.phy.antenna import PhasedArrayConfig
 from repro.phy.channel import MmWaveChannel
+from repro.sim.counters import COUNTERS
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 
-def _random_reflector(rng: np.random.Generator, ap_position: Vec2) -> MoVRReflector:
+def _random_reflector(
+    rng: np.random.Generator,
+    ap_position: Vec2,
+    leakage: Optional[ReflectorLeakageModel] = None,
+) -> MoVRReflector:
     """A reflector at a random pose that keeps the AP inside its scan
-    range (a mounted reflector must face into the room)."""
+    range (a mounted reflector must face into the room).
+
+    Pass a shared ``leakage`` model when placing many reflectors: the
+    coupling physics is pose-independent, and sharing one model lets
+    its batch-query memo persist across placements.
+    """
     for _ in range(1000):
         position = Vec2(
             float(rng.uniform(PLACEMENT_MARGIN_M, ROOM_SIZE_M - PLACEMENT_MARGIN_M)),
@@ -45,7 +56,7 @@ def _random_reflector(rng: np.random.Generator, ap_position: Vec2) -> MoVRReflec
         # range (prototype angles 40-140 = +/-50 degrees of boresight),
         # with margin so the true peak is interior to the sweep.
         orientation = toward_ap + float(rng.uniform(-45.0, 45.0))
-        reflector = MoVRReflector(position, boresight_deg=orientation)
+        reflector = MoVRReflector(position, boresight_deg=orientation, leakage=leakage)
         truth = reflector.azimuth_to_prototype(toward_ap)
         if 42.0 <= truth <= 138.0:
             return reflector
@@ -62,6 +73,7 @@ def run_fig8(
     """Regenerate Fig. 8: estimated vs ground-truth incidence angle."""
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
+    COUNTERS.reset()
     rng = make_rng(seed)
     room = standard_office(furnished=False)
     tracer = RayTracer(room)
@@ -77,9 +89,10 @@ def run_fig8(
         title="Beam alignment accuracy: estimated vs actual angle (100 runs)",
     )
     errors: List[float] = []
+    shared_leakage = ReflectorLeakageModel(array=REFLECTOR_ARRAY)
     for run in range(num_runs):
         run_rng = child_rng(rng, run)
-        reflector = _random_reflector(run_rng, ap.position)
+        reflector = _random_reflector(run_rng, ap.position, leakage=shared_leakage)
         search = BackscatterAngleSearch(
             ap,
             reflector,
@@ -126,4 +139,5 @@ def run_fig8(
         f"mean error {errors_arr.mean():.2f} deg vs beamwidth "
         f"{beamwidth:.1f} deg",
     )
+    report.attach_perf()
     return report

@@ -19,7 +19,7 @@ Shape targets:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.experiments.testbed import (
     default_testbed,
 )
 from repro.rate.mcs import data_rate_mbps_for_snr
+from repro.sim.counters import COUNTERS
 from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.utils.stats import EmpiricalCdf
 from repro.vr.traffic import DEFAULT_TRAFFIC
@@ -44,6 +45,7 @@ def run_fig9(
     """Regenerate Fig. 9: per-run SNR improvements and their CDFs."""
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
+    COUNTERS.reset()
     rng = make_rng(seed)
     bed = testbed if testbed is not None else default_testbed(seed=child_rng(rng, 0))
     system = bed.system
@@ -149,4 +151,5 @@ def run_fig9(
         ),
         f"min MoVR SNR {movr_abs.min():.1f} dB",
     )
+    report.attach_perf()
     return report

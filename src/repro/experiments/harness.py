@@ -11,7 +11,9 @@ contract recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
+
+from repro.sim.counters import COUNTERS
 
 
 @dataclass(frozen=True)
@@ -36,9 +38,21 @@ class ExperimentReport:
     rows: List[Dict[str, object]] = field(default_factory=list)
     checks: List[ShapeCheck] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    perf: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, **fields: object) -> None:
         self.rows.append(dict(fields))
+
+    def attach_perf(self) -> None:
+        """Snapshot the global perf counters into the report.
+
+        Experiments call :func:`repro.sim.counters.COUNTERS.reset` at
+        entry and this at exit, so ``perf`` reflects that run's scene
+        tracing and kernel activity (cache hit rate, batch sizes).
+        """
+        self.perf = dict(COUNTERS.snapshot())
+        self.perf["cache_hit_rate"] = round(COUNTERS.cache_hit_rate, 4)
+        self.perf["mean_kernel_batch"] = round(COUNTERS.mean_kernel_batch, 2)
 
     def check(self, claim: str, passed: bool, detail: str) -> ShapeCheck:
         result = ShapeCheck(claim=claim, passed=bool(passed), detail=detail)
@@ -92,6 +106,13 @@ class ExperimentReport:
             lines.append("")
             lines.append("shape checks vs the paper:")
             lines.extend(f"  {c}" for c in self.checks)
+        if self.perf:
+            lines.append("")
+            lines.append("perf counters:")
+            lines.extend(
+                f"  {key}: {_format_cell(value)}"
+                for key, value in self.perf.items()
+            )
         return "\n".join(lines)
 
     def print_report(self, max_rows: Optional[int] = None) -> None:
@@ -111,6 +132,7 @@ class ExperimentReport:
                 for c in self.checks
             ],
             "all_checks_pass": self.all_checks_pass,
+            "perf": dict(self.perf),
         }
 
     def save_json(self, path: str) -> None:
@@ -149,6 +171,7 @@ class ExperimentReport:
             report.note(note)
         for check in data["checks"]:
             report.check(check["claim"], check["passed"], check["detail"])
+        report.perf = dict(data.get("perf", {}))
         return report
 
 

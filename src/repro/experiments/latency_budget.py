@@ -20,7 +20,7 @@ Three rate-selection policies are compared across SNR:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

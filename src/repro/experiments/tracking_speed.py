@@ -20,7 +20,7 @@ and SNR shortfall vs an oracle that always points perfectly.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import List
 
 import numpy as np
 

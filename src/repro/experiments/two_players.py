@@ -20,7 +20,7 @@ from repro.experiments.harness import ExperimentReport
 from repro.experiments.testbed import PLACEMENT_MARGIN_M, ROOM_SIZE_M
 from repro.geometry.room import standard_office
 from repro.geometry.raytrace import RayTracer
-from repro.geometry.vectors import Vec2, bearing_deg
+from repro.geometry.vectors import Vec2
 from repro.link.budget import LinkBudget
 from repro.link.interference import InterferenceAnalyzer
 from repro.link.radios import DEFAULT_RADIO_CONFIG, HEADSET_RADIO_CONFIG, Radio

@@ -11,8 +11,7 @@ depth of even a few centimeters produces tens of dB of loss (handled by
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.geometry.shapes import Circle

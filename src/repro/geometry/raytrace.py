@@ -15,7 +15,7 @@ from itertools import permutations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry.room import Occluder, Room, Wall
-from repro.geometry.shapes import EPSILON, AxisAlignedBox, Circle, Segment
+from repro.geometry.shapes import EPSILON, Circle, Segment
 from repro.geometry.vectors import Vec2, bearing_deg
 
 #: How close (meters) two nodes may be before the far-field assumption

@@ -9,7 +9,7 @@ attached per-scenario by the experiment code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Union
 
 from repro.geometry.shapes import AxisAlignedBox, Circle, Segment
 from repro.geometry.vectors import Vec2

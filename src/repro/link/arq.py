@@ -22,7 +22,7 @@ import numpy as np
 from repro.phy.ber import frame_error_rate
 from repro.rate.mcs import Mcs, best_mcs_for_snr
 from repro.utils.rng import RngLike, make_rng
-from repro.utils.validation import require_non_negative, require_positive
+from repro.utils.validation import require_non_negative
 from repro.vr.traffic import DEFAULT_TRAFFIC, VrTrafficModel
 
 #: SIFS-like turnaround between attempts (ACK + re-queue), seconds.

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -75,18 +75,50 @@ class SweepResult:
 
 MetricFn = Callable[[float, float], float]
 
+#: Batched metric: called once with broadcastable (tx, rx) angle grids,
+#: returns the metric for every pair.  NaN entries (e.g. an unstable
+#: reflector probe) are treated as unusable, like the scalar form's
+#: ``-inf``.
+BatchMetricFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
 
 def exhaustive_joint_sweep(
     tx_codebook: Codebook,
     rx_codebook: Codebook,
-    metric: MetricFn,
+    metric: Optional[MetricFn] = None,
     keep_map: bool = False,
+    batch_metric: Optional[BatchMetricFn] = None,
 ) -> SweepResult:
-    """Try every (tx, rx) angle pair; return the argmax of ``metric``.
+    """Try every (tx, rx) angle pair; return the argmax of the metric.
 
     ``metric(tx_deg, rx_deg)`` is typically a measured SNR or, during
-    MoVR's angle search, the reflected sideband power at the AP.
+    MoVR's angle search, the reflected sideband power at the AP.  When
+    the caller can evaluate the whole grid at once, ``batch_metric``
+    replaces the per-pair Python loop with one vectorized call — the
+    probe count (the *hardware* cost the search models) is identical.
     """
+    if batch_metric is not None:
+        tx = np.asarray(tx_codebook.angles_deg, dtype=float)
+        rx = np.asarray(rx_codebook.angles_deg, dtype=float)
+        values = np.asarray(batch_metric(tx[:, None], rx[None, :]), dtype=float)
+        values = np.broadcast_to(values, (len(tx), len(rx)))
+        usable = np.where(np.isnan(values), -np.inf, values)
+        i, j = np.unravel_index(int(np.argmax(usable)), usable.shape)
+        best_value = float(usable[i, j])
+        if best_value == -math.inf:
+            # Mirror the scalar loop: nothing ever beat the sentinel.
+            best_tx, best_rx = 0.0, 0.0
+        else:
+            best_tx, best_rx = float(tx[i]), float(rx[j])
+        return SweepResult(
+            best_tx_deg=best_tx,
+            best_rx_deg=best_rx,
+            best_metric=best_value,
+            num_probes=values.size,
+            metric_map=values.copy() if keep_map else None,
+        )
+    if metric is None:
+        raise ValueError("provide either metric or batch_metric")
     best = (-math.inf, 0.0, 0.0)
     grid = (
         np.full((len(tx_codebook), len(rx_codebook)), -math.inf) if keep_map else None
@@ -112,10 +144,11 @@ def exhaustive_joint_sweep(
 def hierarchical_joint_sweep(
     start_deg: float,
     stop_deg: float,
-    metric: MetricFn,
+    metric: Optional[MetricFn] = None,
     coarse_step_deg: float = 10.0,
     fine_step_deg: float = 1.0,
     refine_span_deg: float = 12.0,
+    batch_metric: Optional[BatchMetricFn] = None,
 ) -> SweepResult:
     """Coarse-to-fine joint search: sweep a coarse grid, then refine
     around the winner with fine steps.
@@ -129,7 +162,7 @@ def hierarchical_joint_sweep(
     if fine_step_deg > coarse_step_deg:
         raise ValueError("fine step must not exceed coarse step")
     coarse = Codebook.uniform(start_deg, stop_deg, coarse_step_deg)
-    stage1 = exhaustive_joint_sweep(coarse, coarse, metric)
+    stage1 = exhaustive_joint_sweep(coarse, coarse, metric, batch_metric=batch_metric)
     half = refine_span_deg / 2.0
     tx_fine = Codebook.uniform(
         max(start_deg, stage1.best_tx_deg - half),
@@ -141,7 +174,7 @@ def hierarchical_joint_sweep(
         min(stop_deg, stage1.best_rx_deg + half),
         fine_step_deg,
     )
-    stage2 = exhaustive_joint_sweep(tx_fine, rx_fine, metric)
+    stage2 = exhaustive_joint_sweep(tx_fine, rx_fine, metric, batch_metric=batch_metric)
     total = stage1.num_probes + stage2.num_probes
     winner = stage2 if stage2.best_metric >= stage1.best_metric else stage1
     return SweepResult(
@@ -154,14 +187,25 @@ def hierarchical_joint_sweep(
 
 def single_sided_sweep(
     codebook: Codebook,
-    metric: Callable[[float], float],
+    metric: Optional[Callable[[float], float]] = None,
+    batch_metric: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> Tuple[float, float, int]:
     """Sweep one beam with the other held fixed.
 
     Returns ``(best_angle, best_metric, num_probes)`` — the primitive
     used by pose-assisted tracking, which only needs to refine one
-    side.
+    side.  ``batch_metric`` evaluates the whole codebook in one
+    vectorized call.
     """
+    if batch_metric is not None:
+        angles = np.asarray(codebook.angles_deg, dtype=float)
+        values = np.asarray(batch_metric(angles), dtype=float)
+        values = np.broadcast_to(values, angles.shape)
+        usable = np.where(np.isnan(values), -np.inf, values)
+        best = int(np.argmax(usable))
+        return float(angles[best]), float(usable[best]), int(angles.size)
+    if metric is None:
+        raise ValueError("provide either metric or batch_metric")
     best_angle, best_value = codebook.angles_deg[0], -math.inf
     probes = 0
     for angle in codebook:

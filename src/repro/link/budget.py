@@ -5,25 +5,44 @@ a set of :class:`PropagationPath` objects into received power and SNR.
 When several paths arrive inside the receive beam they are combined
 incoherently (beamformed mmWave links are dominated by a single path,
 and glitch-scale analysis does not track sub-wavelength phase).
+
+Two evaluation surfaces are offered:
+
+* scalar :meth:`LinkBudget.measure` for single steering pairs, and
+* batched :meth:`LinkBudget.sweep` / :meth:`LinkBudget.sweep_pairs`,
+  which trace the scene once (through a :class:`SceneCache`) and
+  evaluate whole steering grids with the vectorized antenna kernels.
+
+The scalar path is a thin wrapper over the batched one, so sweeps and
+single measurements agree bit-for-bit.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.geometry.raytrace import PropagationPath, RayTracer
 from repro.geometry.room import Occluder
-from repro.geometry.vectors import Vec2
 from repro.link.radios import Radio
 from repro.phy.channel import MmWaveChannel
+from repro.sim.cache import SceneCache
+from repro.sim.counters import COUNTERS
 from repro.utils.db import db_sum_powers
 
 
 @dataclass(frozen=True)
 class LinkMeasurement:
-    """Result of one link-budget evaluation."""
+    """Result of one link-budget evaluation.
+
+    An outage (no decodable energy at all) is represented structurally:
+    ``in_outage`` is True, ``dominant_path`` is None, and the power and
+    SNR fields are ``-inf``.  Callers should branch on ``in_outage``
+    rather than comparing floats against infinity.
+    """
 
     received_power_dbm: float
     snr_db: float
@@ -36,13 +55,35 @@ class LinkMeasurement:
         """No decodable energy at all."""
         return self.received_power_dbm == -math.inf
 
+    @classmethod
+    def outage(cls, tx_steer_deg: float, rx_steer_deg: float) -> "LinkMeasurement":
+        """The canonical dead-link measurement at a steering pair."""
+        return cls(
+            received_power_dbm=-math.inf,
+            snr_db=-math.inf,
+            dominant_path=None,
+            tx_steer_deg=tx_steer_deg,
+            rx_steer_deg=rx_steer_deg,
+        )
+
 
 class LinkBudget:
-    """Evaluates links inside one room/channel context."""
+    """Evaluates links inside one room/channel context.
 
-    def __init__(self, tracer: RayTracer, channel: MmWaveChannel) -> None:
+    Scene geometry is queried through a :class:`SceneCache` (one is
+    created over ``tracer`` when not supplied), so repeated
+    evaluations at fixed endpoints re-trace nothing.
+    """
+
+    def __init__(
+        self,
+        tracer: RayTracer,
+        channel: MmWaveChannel,
+        cache: Optional[SceneCache] = None,
+    ) -> None:
         self.tracer = tracer
         self.channel = channel
+        self.cache = cache if cache is not None else SceneCache(tracer)
 
     # ------------------------------------------------------------------
 
@@ -66,6 +107,103 @@ class LinkBudget:
             - tx.config.implementation_loss_db
         )
 
+    # -- batched evaluation ---------------------------------------------
+
+    def path_powers_dbm(
+        self,
+        tx: Radio,
+        rx: Radio,
+        paths: Sequence[PropagationPath],
+        tx_steer_deg,
+        rx_steer_deg,
+    ) -> np.ndarray:
+        """Per-path received power over broadcast steering grids.
+
+        Returns shape ``(P,) + broadcast(tx_steer, rx_steer).shape``;
+        ``axis=0`` holds the paths.  The per-path channel gain is
+        computed once and the antenna kernels evaluate every steering
+        in one vectorized call each.
+        """
+        tx_steer = np.asarray(tx_steer_deg, dtype=float)
+        rx_steer = np.asarray(rx_steer_deg, dtype=float)
+        shape = np.broadcast(tx_steer, rx_steer).shape
+        const = tx.config.tx_power_dbm - tx.config.implementation_loss_db
+        powers = np.empty((len(paths),) + shape, dtype=float)
+        for i, path in enumerate(paths):
+            tx_gain = tx.array.gain_dbi_batch(path.departure_angle_deg, tx_steer)
+            rx_gain = rx.array.gain_dbi_batch(path.arrival_angle_deg, rx_steer)
+            powers[i] = np.broadcast_to(
+                const + self.channel.path_gain_db(path) + tx_gain + rx_gain, shape
+            )
+        return powers
+
+    def sweep(
+        self,
+        tx: Radio,
+        rx: Radio,
+        tx_steer_deg,
+        rx_steer_deg,
+        extra_occluders: Sequence[Occluder] = (),
+        max_bounces: int = 2,
+        paths: Optional[Sequence[PropagationPath]] = None,
+    ) -> np.ndarray:
+        """Total received power (dBm) over the steering outer product.
+
+        ``tx_steer_deg`` (length T) and ``rx_steer_deg`` (length R) are
+        absolute steering azimuths; the result has shape ``(T, R)``.
+        The scene is traced once (via the cache) and every path/angle
+        combination is evaluated with the batched antenna kernels —
+        this is the engine behind exhaustive beam searches and the
+        Fig. 8 joint sweeps.
+        """
+        tx_angles = np.atleast_1d(np.asarray(tx_steer_deg, dtype=float))
+        rx_angles = np.atleast_1d(np.asarray(rx_steer_deg, dtype=float))
+        return self.sweep_pairs(
+            tx,
+            rx,
+            tx_angles[:, None],
+            rx_angles[None, :],
+            extra_occluders=extra_occluders,
+            max_bounces=max_bounces,
+            paths=paths,
+        )
+
+    def sweep_pairs(
+        self,
+        tx: Radio,
+        rx: Radio,
+        tx_steer_deg,
+        rx_steer_deg,
+        extra_occluders: Sequence[Occluder] = (),
+        max_bounces: int = 2,
+        paths: Optional[Sequence[PropagationPath]] = None,
+    ) -> np.ndarray:
+        """Total received power (dBm) over broadcast steering pairs.
+
+        Element-wise companion to :meth:`sweep`: the steering inputs
+        broadcast against each other (pass equal-length vectors to
+        evaluate N independent pairs, or an outer-product layout to
+        recover :meth:`sweep`).  Entries with no surviving energy are
+        ``-inf``.
+        """
+        if paths is None:
+            paths = self.cache.all_paths(
+                tx.position,
+                rx.position,
+                max_bounces=max_bounces,
+                extra_occluders=extra_occluders,
+            )
+        COUNTERS.link_sweeps += 1
+        shape = np.broadcast(
+            np.asarray(tx_steer_deg, dtype=float), np.asarray(rx_steer_deg, dtype=float)
+        ).shape
+        if not paths:
+            return np.full(shape, -np.inf)
+        powers = self.path_powers_dbm(tx, rx, paths, tx_steer_deg, rx_steer_deg)
+        return np.asarray(db_sum_powers(powers, axis=0))
+
+    # -- scalar evaluation ----------------------------------------------
+
     def measure(
         self,
         tx: Radio,
@@ -82,7 +220,7 @@ class LinkBudget:
         arrival angles) contribute; the strongest is reported as the
         dominant path.
         """
-        paths = self.tracer.all_paths(
+        paths = self.cache.all_paths(
             tx.position, rx.position, max_bounces=max_bounces, extra_occluders=extra_occluders
         )
         return self.measure_with_paths(tx, rx, paths, tx_steer_deg, rx_steer_deg)
@@ -99,22 +237,21 @@ class LinkBudget:
 
         Path geometry depends only on node positions, so callers that
         sweep steering angles at fixed positions (beam searches,
-        trackers) should trace once and reuse.
+        trackers) should trace once and reuse — or better, call
+        :meth:`sweep` and evaluate the whole grid at once.
         """
-        contributions: List[Tuple[float, PropagationPath]] = []
-        for path in paths:
-            p = self.path_rx_power_dbm(tx, rx, path, tx_steer_deg, rx_steer_deg)
-            contributions.append((p, path))
-        total_dbm = db_sum_powers(p for p, _ in contributions)
-        dominant = max(contributions, key=lambda c: c[0])[1] if contributions else None
-        snr = (
-            -math.inf
-            if total_dbm == -math.inf
-            else total_dbm - rx.config.noise_floor_dbm
+        if not paths:
+            return LinkMeasurement.outage(tx_steer_deg, rx_steer_deg)
+        powers = self.path_powers_dbm(
+            tx, rx, paths, float(tx_steer_deg), float(rx_steer_deg)
         )
+        total_dbm = float(db_sum_powers(powers, axis=0))
+        if total_dbm == -math.inf:
+            return LinkMeasurement.outage(tx_steer_deg, rx_steer_deg)
+        dominant = paths[int(np.argmax(powers))]
         return LinkMeasurement(
             received_power_dbm=total_dbm,
-            snr_db=snr,
+            snr_db=total_dbm - rx.config.noise_floor_dbm,
             dominant_path=dominant,
             tx_steer_deg=tx_steer_deg,
             rx_steer_deg=rx_steer_deg,
@@ -146,29 +283,44 @@ class LinkBudget:
         extra_occluders: Sequence[Occluder] = (),
         include_los: bool = True,
         max_bounces: int = 2,
+        candidate_paths: Optional[Sequence[PropagationPath]] = None,
     ) -> LinkMeasurement:
         """Best SNR over all candidate path alignments.
 
         With ``include_los=False`` this is the paper's *Opt-NLOS*
         procedure restricted to environmental reflections — the
         exhaustive beam sweep that ignores the direct direction.
+        ``candidate_paths`` restricts the alignments tried (e.g. only
+        paths bouncing off a mirror panel); the received power at each
+        alignment still includes every traced path's contribution.
+
+        The scene is traced once; all candidate alignments (both beams
+        steered onto each path, through the arrays' clipping and
+        quantization) are evaluated in one batched pass.
         """
-        paths = self.tracer.all_paths(
+        all_paths = self.cache.all_paths(
             tx.position, rx.position, max_bounces=max_bounces, extra_occluders=extra_occluders
         )
+        candidates = list(all_paths if candidate_paths is None else candidate_paths)
         if not include_los:
-            paths = [p for p in paths if not p.is_line_of_sight]
-        best: Optional[LinkMeasurement] = None
-        for path in paths:
-            m = self.measure_aligned(tx, rx, path, extra_occluders=extra_occluders)
-            if best is None or m.snr_db > best.snr_db:
-                best = m
-        if best is None:
-            return LinkMeasurement(
-                received_power_dbm=-math.inf,
-                snr_db=-math.inf,
-                dominant_path=None,
-                tx_steer_deg=tx.steering_deg,
-                rx_steer_deg=rx.steering_deg,
-            )
-        return best
+            candidates = [p for p in candidates if not p.is_line_of_sight]
+        if not candidates or not all_paths:
+            return LinkMeasurement.outage(tx.steering_deg, rx.steering_deg)
+        tx_steers = tx.array.steer_to_batch(
+            np.asarray([p.departure_angle_deg for p in candidates])
+        )
+        rx_steers = rx.array.steer_to_batch(
+            np.asarray([p.arrival_angle_deg for p in candidates])
+        )
+        powers = self.path_powers_dbm(tx, rx, all_paths, tx_steers, rx_steers)
+        totals = np.asarray(db_sum_powers(powers, axis=0))
+        best = int(np.argmax(totals))
+        if totals[best] == -np.inf:
+            return LinkMeasurement.outage(float(tx_steers[best]), float(rx_steers[best]))
+        return LinkMeasurement(
+            received_power_dbm=float(totals[best]),
+            snr_db=float(totals[best]) - rx.config.noise_floor_dbm,
+            dominant_path=all_paths[int(np.argmax(powers[:, best]))],
+            tx_steer_deg=float(tx_steers[best]),
+            rx_steer_deg=float(rx_steers[best]),
+        )

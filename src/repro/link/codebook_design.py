@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -92,21 +92,16 @@ def analyze_coverage(
     if sector_stop_deg <= sector_start_deg:
         raise ValueError("sector_stop_deg must exceed sector_start_deg")
     test_angles = np.arange(sector_start_deg, sector_stop_deg + 1e-9, resolution_deg)
-    worst_gain = math.inf
-    worst_angle = float(test_angles[0])
-    peak = -math.inf
-    for angle in test_angles:
-        best = max(
-            array.gain_dbi(float(angle), steer_override_deg=beam)
-            for beam in codebook
-        )
-        peak = max(peak, best)
-        if best < worst_gain:
-            worst_gain, worst_angle = best, float(angle)
+    beams = np.asarray(codebook.angles_deg, dtype=float)
+    # Full (angle, beam) gain grid in one kernel call, then the best
+    # beam per test angle.
+    gains = array.gain_dbi_batch(test_angles[:, None], beams[None, :])
+    best_per_angle = np.max(gains, axis=1)
+    worst = int(np.argmin(best_per_angle))
     return CodebookCoverage(
-        worst_gain_dbi=worst_gain,
-        worst_angle_deg=worst_angle,
-        peak_gain_dbi=peak,
+        worst_gain_dbi=float(best_per_angle[worst]),
+        worst_angle_deg=float(test_angles[worst]),
+        peak_gain_dbi=float(np.max(best_per_angle)),
         num_beams=len(codebook),
     )
 

@@ -14,7 +14,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Callable, List
 
 EventCallback = Callable[["Simulator"], None]
 

@@ -11,7 +11,7 @@ commercial 802.11ad chipset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.geometry.vectors import Vec2, bearing_deg

@@ -13,9 +13,11 @@ detection floor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
-from repro.link.beams import Codebook
+import numpy as np
+
+from repro.link.beams import BatchMetricFn, Codebook
 from repro.utils.validation import require_positive
 
 #: An 802.11ad SSW frame takes ~15.8 us on the air (control PHY).
@@ -42,8 +44,9 @@ class SlsResult:
 def sector_level_sweep(
     initiator_codebook: Codebook,
     responder_codebook: Codebook,
-    metric: Callable[[float, float], float],
+    metric: Optional[Callable[[float, float], float]] = None,
     detection_floor_db: float = 0.0,
+    batch_metric: Optional[BatchMetricFn] = None,
 ) -> SlsResult:
     """Run an SLS exchange.
 
@@ -52,8 +55,12 @@ def sector_level_sweep(
     the other side listens quasi-omni, modeled as the best beam of
     that side minus :data:`QUASI_OMNI_PENALTY_DB`.  Probes whose
     quasi-omni metric falls below ``detection_floor_db`` are missed —
-    the initiator cannot tell that sector was good.
+    the initiator cannot tell that sector was good.  ``batch_metric``
+    evaluates each one-sided phase in a single vectorized call; the
+    frame count (the on-air cost) is unchanged.
     """
+    if batch_metric is None and metric is None:
+        raise ValueError("provide either metric or batch_metric")
     frames = 0
     # Phase 1: initiator sweeps, responder quasi-omni (approximated as
     # the responder's central sector minus the omni penalty).
@@ -62,11 +69,21 @@ def sector_level_sweep(
     )
     best_initiator: Optional[float] = None
     best_metric = float("-inf")
-    for sector in initiator_codebook:
-        frames += 1
-        value = metric(sector, responder_center) - QUASI_OMNI_PENALTY_DB
-        if value >= detection_floor_db and value > best_metric:
-            best_initiator, best_metric = sector, value
+    if batch_metric is not None:
+        sectors = np.asarray(initiator_codebook.angles_deg, dtype=float)
+        values = np.asarray(batch_metric(sectors, responder_center), dtype=float)
+        values = np.broadcast_to(values, sectors.shape) - QUASI_OMNI_PENALTY_DB
+        usable = np.where(np.isnan(values), -np.inf, values)
+        frames += sectors.size
+        idx = int(np.argmax(usable))
+        if usable[idx] >= detection_floor_db:
+            best_initiator, best_metric = float(sectors[idx]), float(usable[idx])
+    else:
+        for sector in initiator_codebook:
+            frames += 1
+            value = metric(sector, responder_center) - QUASI_OMNI_PENALTY_DB
+            if value >= detection_floor_db and value > best_metric:
+                best_initiator, best_metric = sector, value
     if best_initiator is None:
         # Nothing detected: fall back to the codebook center.
         best_initiator = initiator_codebook.nearest(
@@ -78,11 +95,21 @@ def sector_level_sweep(
     # Phase 2: responder sweeps with the initiator's winner fixed.
     best_responder = responder_center
     best_metric2 = float("-inf")
-    for sector in responder_codebook:
-        frames += 1
-        value = metric(best_initiator, sector)
-        if value > best_metric2:
-            best_responder, best_metric2 = sector, value
+    if batch_metric is not None:
+        sectors = np.asarray(responder_codebook.angles_deg, dtype=float)
+        values = np.asarray(batch_metric(best_initiator, sectors), dtype=float)
+        values = np.broadcast_to(values, sectors.shape)
+        usable = np.where(np.isnan(values), -np.inf, values)
+        frames += sectors.size
+        idx = int(np.argmax(usable))
+        if usable[idx] > best_metric2:
+            best_responder, best_metric2 = float(sectors[idx]), float(usable[idx])
+    else:
+        for sector in responder_codebook:
+            frames += 1
+            value = metric(best_initiator, sector)
+            if value > best_metric2:
+                best_responder, best_metric2 = sector, value
     return SlsResult(
         initiator_sector_deg=best_initiator,
         responder_sector_deg=best_responder,

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.utils.validation import (
     require_finite,
     require_non_negative,
@@ -168,6 +170,22 @@ def closed_loop_gain_db(gain_db: float, leakage_db: float) -> float:
         )
     loop_amplitude = 10.0 ** ((gain_db + leakage_db) / 20.0)
     return gain_db - 20.0 * math.log10(1.0 - loop_amplitude)
+
+
+def closed_loop_gain_db_batch(gain_db, leakage_db) -> np.ndarray:
+    """Vectorized :func:`closed_loop_gain_db` over broadcast inputs.
+
+    Unstable configurations yield ``NaN`` instead of raising — a batch
+    sweep legitimately probes beam pairs whose leakage would let the
+    loop oscillate, and the caller decides what an unstable probe is
+    worth (the angle search models it as a saturated, filter-rejected
+    echo).
+    """
+    gain = np.asarray(gain_db, dtype=float)
+    loop = gain + np.asarray(leakage_db, dtype=float)
+    stable = loop < 0.0
+    loop_amplitude = np.power(10.0, np.where(stable, loop, -np.inf) / 20.0)
+    return np.where(stable, gain - 20.0 * np.log10(1.0 - loop_amplitude), np.nan)
 
 
 def feedback_peaking_db(gain_db: float, leakage_db: float) -> float:

@@ -18,14 +18,16 @@ real phased arrays cannot scan to endfire without severe gain loss.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.sim.counters import COUNTERS
 from repro.utils.units import (
     MOVR_CARRIER_HZ,
     angle_difference_deg,
+    angle_difference_deg_batch,
     deg_to_rad,
     wavelength,
 )
@@ -79,6 +81,23 @@ class PhasedArrayConfig:
     def beamwidth_deg(self) -> float:
         """Approximate 3 dB beamwidth at broadside for a uniform ULA."""
         return 101.8 / (self.num_elements * self.spacing_wavelengths * 2.0)
+
+
+def _array_factor_db(num_elements: int, psi: np.ndarray) -> np.ndarray:
+    """Normalized ULA array factor ``20*log10(|AF|/N)`` over ``psi``.
+
+    ``psi`` is the per-element phase progression mismatch.  The
+    removable singularity at ``psi = 0`` (main-lobe peak) is handled
+    explicitly, matching the scalar kernel's epsilon rule.
+    """
+    psi = np.asarray(psi, dtype=float)
+    peak = np.abs(psi) < 1e-12
+    safe = np.where(peak, 1.0, psi)
+    af = np.abs(
+        np.sin(num_elements * safe / 2.0) / (num_elements * np.sin(safe / 2.0))
+    )
+    af = np.where(peak, 1.0, af)
+    return 20.0 * np.log10(np.maximum(af, 1e-9))
 
 
 #: The MoVR prototype array: ~17 dBi peak gain, ~6.4 degree beamwidth —
@@ -145,6 +164,26 @@ class PhasedArray:
         s_q = max(-span, min(span, s_q))
         return math.degrees(math.asin(s_q))
 
+    def steer_to_batch(self, azimuth_deg: np.ndarray) -> np.ndarray:
+        """Achieved absolute steering for a whole batch of commands.
+
+        The vectorized counterpart of :meth:`steer_to` — scan-range
+        clipping and phase quantization included — except the array's
+        own state is left untouched: sweeps probe candidate steerings
+        without committing to one.
+        """
+        relative = angle_difference_deg_batch(azimuth_deg, self.boresight_deg)
+        relative = np.clip(relative, -self.config.max_scan_deg, self.config.max_scan_deg)
+        bits = self.config.phase_shifter_bits
+        if bits:
+            levels = 2 ** bits
+            span = math.sin(deg_to_rad(self.config.max_scan_deg))
+            step = 2.0 * span / levels
+            # np.round matches Python round() (banker's rounding).
+            s_q = np.clip(np.round(np.sin(np.radians(relative)) / step) * step, -span, span)
+            relative = np.degrees(np.arcsin(s_q))
+        return self.boresight_deg + relative
+
     # -- gain pattern ---------------------------------------------------
 
     def gain_dbi(self, toward_deg: float, steer_override_deg: Optional[float] = None) -> float:
@@ -159,37 +198,51 @@ class PhasedArray:
         steer = angle_difference_deg(steer_abs, self.boresight_deg)
         return self._pattern_gain_dbi(theta, steer)
 
+    def gain_dbi_batch(self, toward_deg, steer_deg) -> np.ndarray:
+        """Realized gain (dBi) over whole grids of angles in one call.
+
+        ``toward_deg`` and ``steer_deg`` are absolute azimuths (scene
+        frame) and may be any broadcastable mix of scalars and arrays:
+        sweep targets at a fixed steering, sweep steerings at a fixed
+        target, or both at once.  This is the vectorized kernel behind
+        the scalar :meth:`gain_dbi`, so the two agree exactly.
+        """
+        theta = angle_difference_deg_batch(toward_deg, self.boresight_deg)
+        steer = angle_difference_deg_batch(steer_deg, self.boresight_deg)
+        return self._pattern_gain_dbi_batch(theta, steer)
+
     def gain_dbi_array(self, toward_deg: np.ndarray, steer_deg: float) -> np.ndarray:
         """Vectorized gain over many target azimuths (scene frame)."""
-        theta = np.asarray(
-            [angle_difference_deg(t, self.boresight_deg) for t in np.atleast_1d(toward_deg)]
-        )
-        steer = angle_difference_deg(steer_deg, self.boresight_deg)
-        return np.asarray([self._pattern_gain_dbi(t, steer) for t in theta])
+        return np.atleast_1d(self.gain_dbi_batch(np.atleast_1d(toward_deg), steer_deg))
 
     def _pattern_gain_dbi(self, theta_deg: float, steer_deg: float) -> float:
+        return float(self._pattern_gain_dbi_batch(theta_deg, steer_deg))
+
+    def _pattern_gain_dbi_batch(self, theta_deg, steer_deg) -> np.ndarray:
+        """Array factor + element pattern over broadcast angle grids.
+
+        ``theta_deg``/``steer_deg`` are *relative to boresight*.  All
+        scalar-kernel clamping rules are reproduced element-wise.
+        """
         cfg = self.config
         n = cfg.num_elements
+        theta = np.asarray(theta_deg, dtype=float)
+        steer = np.asarray(steer_deg, dtype=float)
+        COUNTERS.kernel_batches += 1
+        COUNTERS.kernel_angles += int(np.broadcast(theta, steer).size)
         # Electrical angle difference in sin-space.
-        behind = abs(theta_deg) > 90.0
-        sin_theta = math.sin(deg_to_rad(theta_deg))
-        sin_steer = math.sin(deg_to_rad(steer_deg))
-        psi = 2.0 * math.pi * cfg.spacing_wavelengths * (sin_theta - sin_steer)
-        # Normalized array factor |AF| / N.
-        if abs(psi) < 1e-12:
-            af = 1.0
-        else:
-            af = abs(math.sin(n * psi / 2.0) / (n * math.sin(psi / 2.0)))
-        af_db = 20.0 * math.log10(max(af, 1e-9))
+        behind = np.abs(theta) > 90.0
+        sin_theta = np.sin(np.radians(theta))
+        sin_steer = np.sin(np.radians(steer))
+        psi = 2.0 * np.pi * cfg.spacing_wavelengths * (sin_theta - sin_steer)
+        af_db = _array_factor_db(n, psi)
         # Element pattern: patch cos^1.2 falloff, floored at the
         # backlobe level.
-        cos_t = math.cos(deg_to_rad(min(abs(theta_deg), 90.0)))
-        element_db = cfg.element_gain_dbi + 12.0 * math.log10(max(cos_t, 1e-6))
+        cos_t = np.cos(np.radians(np.minimum(np.abs(theta), 90.0)))
+        element_db = cfg.element_gain_dbi + 12.0 * np.log10(np.maximum(cos_t, 1e-6))
         gain = 10.0 * math.log10(n) + af_db + element_db
         floor = self.backlobe_level_dbi()
-        if behind:
-            return floor
-        return max(gain, floor)
+        return np.where(behind, floor, np.maximum(gain, floor))
 
     def relative_pattern_db(
         self,
@@ -205,21 +258,28 @@ class PhasedArray:
         needed by the reflector leakage model, where deep sidelobe
         nulls are observable.
         """
-        theta = angle_difference_deg(toward_deg, self.boresight_deg)
-        steer = angle_difference_deg(steer_deg, self.boresight_deg)
+        return float(self.relative_pattern_db_batch(toward_deg, steer_deg, floor_db))
+
+    def relative_pattern_db_batch(
+        self,
+        toward_deg,
+        steer_deg,
+        floor_db: float = -40.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`relative_pattern_db` over broadcast grids."""
+        theta = angle_difference_deg_batch(toward_deg, self.boresight_deg)
+        steer = angle_difference_deg_batch(steer_deg, self.boresight_deg)
         cfg = self.config
         n = cfg.num_elements
-        sin_theta = math.sin(deg_to_rad(max(-90.0, min(90.0, theta))))
-        sin_steer = math.sin(deg_to_rad(steer))
-        psi = 2.0 * math.pi * cfg.spacing_wavelengths * (sin_theta - sin_steer)
-        if abs(psi) < 1e-12:
-            af = 1.0
-        else:
-            af = abs(math.sin(n * psi / 2.0) / (n * math.sin(psi / 2.0)))
-        af_db = 20.0 * math.log10(max(af, 1e-9))
-        cos_t = math.cos(deg_to_rad(min(abs(theta), 90.0)))
-        element_rel_db = 12.0 * math.log10(max(cos_t, 1e-6))
-        return max(floor_db, af_db + element_rel_db)
+        COUNTERS.kernel_batches += 1
+        COUNTERS.kernel_angles += int(np.broadcast(theta, steer).size)
+        sin_theta = np.sin(np.radians(np.clip(theta, -90.0, 90.0)))
+        sin_steer = np.sin(np.radians(steer))
+        psi = 2.0 * np.pi * cfg.spacing_wavelengths * (sin_theta - sin_steer)
+        af_db = _array_factor_db(n, psi)
+        cos_t = np.cos(np.radians(np.minimum(np.abs(theta), 90.0)))
+        element_rel_db = 12.0 * np.log10(np.maximum(cos_t, 1e-6))
+        return np.maximum(floor_db, af_db + element_rel_db)
 
     def backlobe_level_dbi(self) -> float:
         """Gain floor behind/beside the array.
@@ -328,6 +388,51 @@ class MultiPanelArray:
         panel = self._panels[self._best_panel_for(steer_override_deg)]
         return panel.gain_dbi(toward_deg, steer_override_deg=steer_override_deg)
 
+    def _panel_index_batch(self, steer_deg: np.ndarray) -> np.ndarray:
+        """Serving-panel index for each steering angle (vectorized)."""
+        boresights = np.asarray([p.boresight_deg for p in self._panels])
+        offsets = np.abs(
+            angle_difference_deg_batch(
+                np.asarray(steer_deg, dtype=float)[..., None], boresights
+            )
+        )
+        return np.argmin(offsets, axis=-1)
+
+    def gain_dbi_batch(self, toward_deg, steer_deg) -> np.ndarray:
+        """Vectorized gain with per-steering panel selection.
+
+        Mirrors :meth:`gain_dbi` with a steering override: each
+        steering angle is served by the panel closest to it, and that
+        panel's pattern is evaluated toward the (broadcast) targets.
+        """
+        toward = np.asarray(toward_deg, dtype=float)
+        steer = np.asarray(steer_deg, dtype=float)
+        if steer.ndim == 0:
+            panel = self._panels[self._best_panel_for(float(steer))]
+            return panel.gain_dbi_batch(toward, steer)
+        toward_b, steer_b = np.broadcast_arrays(toward, steer)
+        indices = self._panel_index_batch(steer_b)
+        out = np.empty(steer_b.shape, dtype=float)
+        for i in np.unique(indices):
+            mask = indices == i
+            out[mask] = self._panels[int(i)].gain_dbi_batch(
+                toward_b[mask], steer_b[mask]
+            )
+        return out
+
+    def steer_to_batch(self, azimuth_deg: np.ndarray) -> np.ndarray:
+        """Achieved steering per command, with panel selection.
+
+        State-free like :meth:`PhasedArray.steer_to_batch`.
+        """
+        azimuth = np.atleast_1d(np.asarray(azimuth_deg, dtype=float))
+        indices = self._panel_index_batch(azimuth)
+        out = np.empty(azimuth.shape, dtype=float)
+        for i in np.unique(indices):
+            mask = indices == i
+            out[mask] = self._panels[int(i)].steer_to_batch(azimuth[mask])
+        return out.reshape(np.shape(azimuth_deg)) if np.ndim(azimuth_deg) else out[0]
+
     def backlobe_level_dbi(self) -> float:
         return self._panels[0].backlobe_level_dbi()
 
@@ -341,8 +446,16 @@ class OmniAntenna:
     def gain_dbi(self, toward_deg: float, steer_override_deg: Optional[float] = None) -> float:
         return self.gain_dbi_value
 
+    def gain_dbi_batch(self, toward_deg, steer_deg) -> np.ndarray:
+        return np.full(np.broadcast(
+            np.asarray(toward_deg, dtype=float), np.asarray(steer_deg, dtype=float)
+        ).shape, self.gain_dbi_value)
+
     def steer_to(self, azimuth_deg: float) -> float:
         return azimuth_deg
+
+    def steer_to_batch(self, azimuth_deg: np.ndarray) -> np.ndarray:
+        return np.asarray(azimuth_deg, dtype=float)
 
     def can_steer_to(self, azimuth_deg: float) -> bool:
         return True

@@ -10,11 +10,9 @@ that each MCS's threshold indeed delivers a usable error rate.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict
 
 from repro.rate.mcs import Mcs, PhyType
-from repro.utils.validation import require_positive
 
 
 def q_function(x: float) -> float:

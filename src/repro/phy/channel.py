@@ -17,8 +17,8 @@ from typing import Optional
 import numpy as np
 
 from repro.geometry.raytrace import PropagationPath
-from repro.phy.blockage import DEFAULT_BLOCKAGE_MODEL, BlockageModel
-from repro.utils.rng import RngLike, make_rng
+from repro.phy.blockage import BlockageModel
+from repro.utils.rng import make_rng
 from repro.utils.units import MOVR_CARRIER_HZ, wavelength
 from repro.utils.validation import require_non_negative, require_positive
 

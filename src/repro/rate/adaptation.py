@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.rate.mcs import MCS_TABLE, Mcs, PhyType, best_mcs_for_snr
+from repro.rate.mcs import Mcs, PhyType, best_mcs_for_snr
 from repro.utils.validation import require_non_negative
 
 

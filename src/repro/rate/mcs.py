@@ -16,7 +16,6 @@ maximum data rate.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Sequence

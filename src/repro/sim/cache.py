@@ -1,0 +1,173 @@
+"""Memoizing front-end for the image-method ray tracer.
+
+Propagation paths depend only on the endpoint positions, the occluder
+set, and the bounce budget — never on beam steering.  Yet the steering
+sweeps that regenerate the paper's figures (the 1-degree exhaustive
+NLOS sweep of Fig. 3, the joint AP x reflector search of Fig. 8, the
+20-pose CDF of Fig. 9) historically re-traced the same scene for every
+probed angle pair.  :class:`SceneCache` memoizes the tracer's path
+sets so a steering sweep traces each distinct scene exactly once.
+
+Caching contract
+----------------
+
+* Keys include both endpoints, the bounce budget, and a *signature* of
+  every occluder that can affect the query (the room's own furniture
+  plus the per-call extras).  Signatures are built from occluder
+  geometry values, so moving, adding, or removing an occluder — even
+  by mutating the room in place — changes the key and the stale entry
+  is never returned.  Pose changes likewise miss naturally.
+* :meth:`SceneCache.invalidate` drops every entry.  Use it when scene
+  state *outside* the keyed geometry changes (e.g. swapping wall
+  materials on the traced room), which the signature cannot see.
+* Entries are evicted LRU beyond ``max_entries`` so motion traces with
+  thousands of distinct poses cannot grow the cache without bound.
+
+All queries update :data:`repro.sim.counters.COUNTERS` (hits, misses,
+tracer calls), which experiment reports surface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.geometry.raytrace import PropagationPath, RayTracer
+from repro.geometry.room import Occluder
+from repro.geometry.shapes import AxisAlignedBox, Circle
+from repro.geometry.vectors import Vec2
+from repro.sim.counters import COUNTERS
+
+#: Default cache capacity (entries, i.e. distinct traced scenes).
+DEFAULT_MAX_ENTRIES = 1024
+
+
+def occluder_signature(occluders: Iterable[Occluder]) -> Tuple:
+    """A hashable fingerprint of an occluder set's geometry.
+
+    Order-sensitive (the tracer's obstruction records are too) and
+    value-based, so an occluder moved in place produces a different
+    signature than the original.
+    """
+    sig = []
+    for occ in occluders:
+        if isinstance(occ, Circle):
+            sig.append(("circle", occ.center.x, occ.center.y, occ.radius))
+        elif isinstance(occ, AxisAlignedBox):
+            sig.append(
+                (
+                    "box",
+                    occ.min_corner.x,
+                    occ.min_corner.y,
+                    occ.max_corner.x,
+                    occ.max_corner.y,
+                )
+            )
+        else:  # pragma: no cover - future occluder kinds degrade safely
+            sig.append((type(occ).__name__, repr(occ)))
+    return tuple(sig)
+
+
+class SceneCache:
+    """Memoizes :class:`RayTracer` queries for one room.
+
+    Drop-in for the tracer's three public query methods; everything a
+    steering sweep needs is answered from memory after the first trace
+    of each distinct (endpoints, occluders, bounces) scene.
+    """
+
+    def __init__(self, tracer: RayTracer, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.tracer = tracer
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def invalidate(self) -> None:
+        """Drop every cached path set.
+
+        Call on scene changes the occluder signature cannot observe
+        (wall edits, material swaps on the traced room).
+        """
+        self._entries.clear()
+        COUNTERS.cache_invalidations += 1
+
+    def _scene_key(
+        self, kind: str, tx: Vec2, rx: Vec2, extra_occluders: Sequence[Occluder]
+    ) -> Tuple:
+        return (
+            kind,
+            tx.x,
+            tx.y,
+            rx.x,
+            rx.y,
+            occluder_signature(self.tracer.room.occluders),
+            occluder_signature(extra_occluders),
+        )
+
+    def _lookup(self, key: Tuple, compute):
+        entry = self._entries.get(key)
+        if entry is not None:
+            COUNTERS.cache_hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        COUNTERS.cache_misses += 1
+        COUNTERS.tracer_calls += 1
+        entry = compute()
+        self._entries[key] = entry
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    # -- tracer-equivalent queries ---------------------------------------
+
+    def line_of_sight(
+        self,
+        tx: Vec2,
+        rx: Vec2,
+        extra_occluders: Sequence[Occluder] = (),
+        include_room_occluders: bool = True,
+    ) -> PropagationPath:
+        """Cached :meth:`RayTracer.line_of_sight`."""
+        key = self._scene_key(
+            "los" if include_room_occluders else "los-bare", tx, rx, extra_occluders
+        )
+        return self._lookup(
+            key,
+            lambda: self.tracer.line_of_sight(
+                tx, rx, extra_occluders, include_room_occluders
+            ),
+        )
+
+    def reflection_paths(
+        self,
+        tx: Vec2,
+        rx: Vec2,
+        max_bounces: int = 2,
+        extra_occluders: Sequence[Occluder] = (),
+    ) -> List[PropagationPath]:
+        """Cached :meth:`RayTracer.reflection_paths`."""
+        key = self._scene_key(f"refl{max_bounces}", tx, rx, extra_occluders)
+        return self._lookup(
+            key,
+            lambda: self.tracer.reflection_paths(tx, rx, max_bounces, extra_occluders),
+        )
+
+    def all_paths(
+        self,
+        tx: Vec2,
+        rx: Vec2,
+        max_bounces: int = 2,
+        extra_occluders: Sequence[Occluder] = (),
+    ) -> List[PropagationPath]:
+        """Cached :meth:`RayTracer.all_paths`."""
+        key = self._scene_key(f"all{max_bounces}", tx, rx, extra_occluders)
+        return self._lookup(
+            key,
+            lambda: self.tracer.all_paths(tx, rx, max_bounces, extra_occluders),
+        )

@@ -1,0 +1,61 @@
+"""Lightweight perf counters for the scene-evaluation core.
+
+A single process-wide :class:`PerfCounters` instance (:data:`COUNTERS`)
+is incremented by the ray-path cache, the vectorized gain kernels, and
+the batched link sweeps.  Experiments reset it at the start of a run
+and attach a snapshot to their :class:`~repro.experiments.harness.
+ExperimentReport`, making the cache hit rate and kernel batch sizes —
+i.e. the *reason* a run is fast or slow — part of every report.
+
+The counters are plain integer adds with no locking: they are meant
+for observability, not for exact accounting under free threading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class PerfCounters:
+    """Counts of the hot-path operations behind one experiment run."""
+
+    #: Actual :class:`RayTracer` invocations (cache misses included).
+    tracer_calls: int = 0
+    #: Path-set queries answered from the :class:`SceneCache`.
+    cache_hits: int = 0
+    #: Path-set queries that had to trace.
+    cache_misses: int = 0
+    #: Explicit cache invalidations (pose/occluder change notices).
+    cache_invalidations: int = 0
+    #: Vectorized gain-kernel invocations.
+    kernel_batches: int = 0
+    #: Total angles evaluated across all kernel batches.
+    kernel_angles: int = 0
+    #: Batched link sweeps (``LinkBudget.sweep``/``sweep_pairs``).
+    link_sweeps: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (start of an experiment run)."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy, ready for a report or JSON."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of path-set queries served without tracing."""
+        queries = self.cache_hits + self.cache_misses
+        return self.cache_hits / queries if queries else 0.0
+
+    @property
+    def mean_kernel_batch(self) -> float:
+        """Average angles per vectorized kernel call."""
+        return self.kernel_angles / self.kernel_batches if self.kernel_batches else 0.0
+
+
+#: The process-wide counter instance.
+COUNTERS = PerfCounters()

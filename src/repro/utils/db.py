@@ -10,7 +10,7 @@ directly in the log domain (adding gains, combining incoherent powers).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
@@ -73,16 +73,27 @@ def watts_to_dbm(value_watts: ArrayLike) -> ArrayLike:
     return linear_to_db(value_watts) + 30.0
 
 
-def db_sum_powers(powers_db: Iterable[float]) -> float:
+def db_sum_powers(powers_db, axis: Optional[int] = None):
     """Incoherently combine powers expressed in dB (or dBm).
 
     This is the correct way to add the power of independent paths: the
     linear powers add, not the dB values.  ``-inf`` entries (dark
     paths) are ignored; an empty or all-dark input yields ``-inf``.
 
+    Accepts either an iterable of floats (returns a float) or an
+    ``ndarray``.  For arrays, ``axis`` selects the reduction axis —
+    e.g. a per-path power grid of shape ``(P, T, R)`` combines into a
+    ``(T, R)`` total with ``axis=0`` — and the result is an array
+    (``axis=None`` reduces everything to a float).  Dark entries
+    contribute zero linear power in either form.
+
     >>> round(db_sum_powers([10.0, 10.0]), 4)
     13.0103
     """
+    if isinstance(powers_db, np.ndarray):
+        # 10**(-inf) underflows to exactly 0.0 — dark paths drop out.
+        total = np.sum(np.power(10.0, powers_db / 10.0), axis=axis)
+        return linear_to_db(total)
     total = 0.0
     for p in powers_db:
         if p == -math.inf:

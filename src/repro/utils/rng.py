@@ -9,7 +9,7 @@ bit-for-bit from one integer.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Speed of light in vacuum [m/s].
 SPEED_OF_LIGHT = 299_792_458.0
 
@@ -78,3 +80,13 @@ def angle_difference_deg(a_deg: float, b_deg: float) -> float:
     20.0
     """
     return wrap_angle_deg(a_deg - b_deg)
+
+
+def angle_difference_deg_batch(a_deg, b_deg):
+    """Vectorized :func:`angle_difference_deg` over ndarray inputs.
+
+    Accepts any mix of scalars and arrays (NumPy broadcasting rules);
+    uses the exact arithmetic of the scalar version, so results agree
+    bit-for-bit.
+    """
+    return (np.asarray(a_deg, dtype=float) - b_deg + 180.0) % 360.0 - 180.0

@@ -8,8 +8,7 @@ asserted against in tests.
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -8,7 +8,6 @@ MoVR's angle-search protocol over a Bluetooth side channel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.geometry.vectors import Vec2, bearing_deg
 from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio, RadioConfig

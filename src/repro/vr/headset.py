@@ -9,8 +9,6 @@ provides, which section 6 proposes reusing for fast beam tracking.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.geometry.mobility import PoseSample
 from repro.geometry.vectors import Vec2

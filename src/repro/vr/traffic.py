@@ -10,7 +10,7 @@ display refresh rate, each of which must arrive within a deadline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from repro.utils.validation import require_int, require_positive
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.control.scheduler import (
-    AirtimeScheduler,
-    SearchImpact,
-    compare_search_strategies,
-)
-from repro.vr.traffic import VrTrafficModel
+from repro.control.scheduler import AirtimeScheduler, compare_search_strategies
 
 
 class TestAirtimeScheduler:

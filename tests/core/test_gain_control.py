@@ -1,6 +1,5 @@
 """Unit tests for the current-sensing gain controller (section 4.2)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.leakage import (
-    BROADSIDE_DEG,
-    MAX_ANGLE_DEG,
-    MIN_ANGLE_DEG,
-    ReflectorLeakageModel,
-)
+from repro.core.leakage import MAX_ANGLE_DEG, MIN_ANGLE_DEG, ReflectorLeakageModel
 
 angles = st.floats(min_value=MIN_ANGLE_DEG, max_value=MAX_ANGLE_DEG)
 

@@ -1,13 +1,11 @@
 """Unit tests for the pose Kalman filter."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.core.prediction import PoseKalmanFilter, prediction_error_deg
 from repro.geometry.mobility import (
-    MotionTrace,
     PoseSample,
     VrPlayerMotion,
     head_turn_trace,

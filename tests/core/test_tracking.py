@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.tracking import PoseAssistedTracker, TrackerStats
-from repro.geometry.vectors import Vec2, bearing_deg
+from repro.core.tracking import PoseAssistedTracker
+from repro.geometry.vectors import Vec2
 
 
 def gaussian_beam_snr(true_bearing_deg, peak_snr=30.0, beamwidth=10.0):

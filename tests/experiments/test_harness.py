@@ -1,6 +1,5 @@
 """Unit tests for the experiment report harness."""
 
-import pytest
 
 from repro.experiments.harness import ExperimentReport, ShapeCheck
 

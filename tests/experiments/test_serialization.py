@@ -3,7 +3,6 @@
 import json
 import math
 
-import pytest
 
 from repro.experiments.harness import ExperimentReport
 

@@ -8,7 +8,6 @@ from repro.experiments.testbed import (
     BlockageScenario,
     default_testbed,
 )
-from repro.geometry.vectors import bearing_deg
 
 
 class TestDefaultTestbed:

@@ -7,9 +7,9 @@ from hypothesis import assume, given, settings, strategies as st
 
 from repro.geometry.bodies import hand_occluder
 from repro.geometry.raytrace import PropagationPath, RayTracer
-from repro.geometry.room import DRYWALL, METAL, rectangular_room, standard_office
-from repro.geometry.shapes import AxisAlignedBox, Circle
-from repro.geometry.vectors import Vec2, bearing_deg
+from repro.geometry.room import DRYWALL, METAL, rectangular_room
+from repro.geometry.shapes import Circle
+from repro.geometry.vectors import Vec2
 
 interior = st.floats(min_value=0.5, max_value=4.5)
 interior_points = st.builds(Vec2, interior, interior)

@@ -8,12 +8,11 @@ from repro.geometry.room import (
     GLASS,
     METAL,
     Room,
-    Wall,
     WallMaterial,
     rectangular_room,
     standard_office,
 )
-from repro.geometry.shapes import AxisAlignedBox, Circle, Segment
+from repro.geometry.shapes import Circle
 from repro.geometry.vectors import Vec2
 
 

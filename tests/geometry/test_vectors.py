@@ -1,6 +1,5 @@
 """Unit tests for 2-D vector algebra."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

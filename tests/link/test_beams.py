@@ -1,6 +1,5 @@
 """Unit tests for beam codebooks and searches."""
 
-import math
 
 import pytest
 

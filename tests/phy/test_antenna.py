@@ -1,12 +1,10 @@
 """Unit tests for the phased-array models."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.phy.antenna import (
     MOVR_ARRAY,
-    SMALL_ARRAY,
     MultiPanelArray,
     OmniAntenna,
     PhasedArray,

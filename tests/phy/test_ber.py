@@ -1,6 +1,5 @@
 """Unit tests for the bit/frame error-rate model."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -4,10 +4,10 @@ import cmath
 import math
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.geometry.raytrace import RayTracer
-from repro.geometry.room import METAL, rectangular_room
+from repro.geometry.room import rectangular_room
 from repro.geometry.shapes import Circle
 from repro.geometry.vectors import Vec2
 from repro.phy.channel import (

@@ -1,6 +1,5 @@
 """Unit tests for the frequency-selective OFDM channel path."""
 
-import math
 
 import numpy as np
 import pytest

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.rate.adaptation import RateAdapter, outage_fraction
-from repro.rate.mcs import MAX_RATE_MBPS
 
 
 class TestRateAdapter:

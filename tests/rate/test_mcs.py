@@ -6,7 +6,6 @@ from hypothesis import given, strategies as st
 from repro.rate.mcs import (
     MAX_RATE_MBPS,
     MCS_TABLE,
-    Mcs,
     PhyType,
     best_mcs_for_snr,
     data_rate_mbps_for_snr,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.geometry.bodies import hand_occluder
 from repro.geometry.room import rectangular_room, standard_office
-from repro.geometry.shapes import AxisAlignedBox, Circle
 from repro.geometry.vectors import Vec2
 from repro.phy.antenna import PhasedArray
 from repro.utils.stats import EmpiricalCdf

@@ -4,7 +4,7 @@ import pytest
 
 from repro.geometry.mobility import PoseSample
 from repro.geometry.vectors import Vec2, bearing_deg
-from repro.vr.console import ConsoleSpec, GameConsole, corner_console
+from repro.vr.console import ConsoleSpec, corner_console
 from repro.vr.headset import RECEIVER_MOUNT_OFFSET_M, Headset
 
 

@@ -6,7 +6,6 @@ from repro.vr.traffic import (
     DEFAULT_TRAFFIC,
     HTC_VIVE_DISPLAY,
     DisplaySpec,
-    Frame,
     VrTrafficModel,
     frame_schedule,
 )
