@@ -5,19 +5,35 @@ Usage::
     python -m repro list
     python -m repro run fig9 --seed 7
     python -m repro run all --seed 7
+    python -m repro run fig9 --trace trace.json --metrics metrics.json
 
 Each experiment prints its regenerated table, notes, and the shape
 checks against the paper; the process exits non-zero if any check
 fails, so ``python -m repro run all`` doubles as a reproduction audit
 in CI.
+
+Telemetry flags (see docs/observability.md):
+
+``--metrics PATH``
+    Write the run's metric snapshot (counters, gauges, histogram
+    quantiles) as JSON.
+``--trace PATH``
+    Write the run's span tree in Chrome trace-event format — load it
+    at ``chrome://tracing`` or https://ui.perfetto.dev.
+``--events``
+    Print the full control-plane event log instead of the first few
+    events per experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.experiments import ALL_EXPERIMENTS
 
 #: Experiments that accept a ``seed`` keyword (all but the
@@ -56,7 +72,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the report(s) as JSON; for 'all', PATH gets a "
         "per-experiment suffix",
     )
+    run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the run's metric snapshot (counters + histogram "
+        "quantiles) as JSON",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the run's spans as a Chrome trace-event JSON "
+        "(chrome://tracing)",
+    )
+    run.add_argument(
+        "--events",
+        action="store_true",
+        help="print every control-plane event (default: first few per "
+        "experiment)",
+    )
     return parser
+
+
+def _per_experiment_path(path: str, experiment_id: str) -> str:
+    """Suffix ``path``'s basename with the experiment id.
+
+    Only the basename is split on ``.`` — a dot in a parent directory
+    (``out.d/report``) must not be mistaken for an extension.
+    """
+    head, tail = os.path.split(path)
+    stem, dot, ext = tail.rpartition(".")
+    if dot:
+        tail = f"{stem}-{experiment_id}.{ext}"
+    else:
+        tail = f"{tail}-{experiment_id}"
+    return os.path.join(head, tail) if head else tail
 
 
 def _run_one(
@@ -64,11 +115,15 @@ def _run_one(
     seed: int,
     max_rows: int,
     json_path: Optional[str] = None,
+    show_all_events: bool = False,
 ) -> bool:
     fn = ALL_EXPERIMENTS[experiment_id]
     kwargs = {} if experiment_id in _SEEDLESS else {"seed": seed}
     report = fn(**kwargs)
-    report.print_report(max_rows=max_rows)
+    report.print_report(
+        max_rows=max_rows,
+        max_events=None if show_all_events else 8,
+    )
     print()
     if json_path is not None:
         report.save_json(json_path)
@@ -94,15 +149,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
     all_ok = True
-    for experiment_id in targets:
-        json_path = args.json
-        if json_path is not None and len(targets) > 1:
-            stem, dot, ext = json_path.rpartition(".")
-            json_path = (
-                f"{stem}-{experiment_id}.{ext}" if dot else f"{json_path}-{experiment_id}"
+    # One CLI-level scope around every experiment: per-experiment
+    # scopes fold into it on exit, so --metrics/--trace cover the
+    # whole invocation even for 'run all'.
+    with telemetry.scope("cli") as sc:
+        for experiment_id in targets:
+            json_path = args.json
+            if json_path is not None and len(targets) > 1:
+                json_path = _per_experiment_path(json_path, experiment_id)
+            ok = _run_one(
+                experiment_id,
+                args.seed,
+                args.max_rows,
+                json_path,
+                show_all_events=args.events,
             )
-        ok = _run_one(experiment_id, args.seed, args.max_rows, json_path)
-        all_ok = all_ok and ok
+            all_ok = all_ok and ok
+    if args.metrics is not None:
+        with open(args.metrics, "w") as handle:
+            json.dump(sc.registry.snapshot(), handle, indent=2)
+        print(f"metrics written to {args.metrics}")
+    if args.trace is not None:
+        with open(args.trace, "w") as handle:
+            json.dump(telemetry.chrome_trace_json(sc.tracer.roots), handle, indent=2)
+        print(f"trace written to {args.trace}")
     if not all_ok:
         print("one or more shape checks FAILED", file=sys.stderr)
         return 1

@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import telemetry
 from repro.link.beams import DEFAULT_PROBE_TIME_S
 from repro.utils.validation import require_non_negative, require_positive
 from repro.vr.traffic import DEFAULT_TRAFFIC, VrTrafficModel
@@ -87,6 +88,9 @@ class AirtimeScheduler:
             if leftover < self.frame_airtime_s:
                 lost += 1
             remaining -= interval
+        telemetry.inc("scheduler.searches")
+        telemetry.inc("scheduler.frames_lost", lost)
+        telemetry.observe("scheduler.search_time_ms", search_time * 1000.0)
         return SearchImpact(
             search_time_s=search_time,
             frames_at_risk=frames_at_risk,

@@ -30,11 +30,13 @@ the test suite:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.reflector import MoVRReflector
 from repro.geometry.raytrace import RayTracer
 from repro.geometry.vectors import bearing_deg
@@ -252,15 +254,26 @@ class BackscatterAngleSearch:
             self.ap.boresight_deg - scan, self.ap.boresight_deg + scan, ap_step_deg
         )
 
-        if self.signal_level:
-            # The DSP probe synthesizes one capture at a time.
-            sweep = exhaustive_joint_sweep(
-                ap_codebook, refl_codebook, self.measure_sideband_dbm
+        with telemetry.span(
+            "angle_search.sweep", protocol="backscatter", signal_level=self.signal_level
+        ) as sp:
+            started = time.perf_counter()
+            if self.signal_level:
+                # The DSP probe synthesizes one capture at a time.
+                sweep = exhaustive_joint_sweep(
+                    ap_codebook, refl_codebook, self.measure_sideband_dbm
+                )
+            else:
+                sweep = exhaustive_joint_sweep(
+                    ap_codebook,
+                    refl_codebook,
+                    batch_metric=self.measure_sideband_dbm_batch,
+                )
+            sp.attrs["probes"] = sweep.num_probes
+            telemetry.observe(
+                "angle_search.sweep_ms", (time.perf_counter() - started) * 1000.0
             )
-        else:
-            sweep = exhaustive_joint_sweep(
-                ap_codebook, refl_codebook, batch_metric=self.measure_sideband_dbm_batch
-            )
+            telemetry.inc("angle_search.probes", sweep.num_probes)
         truth_refl = self.reflector.azimuth_to_prototype(self._bearing_refl_to_ap)
         truth_ap = self._bearing_ap_to_refl
         return AngleSearchResult(
@@ -287,41 +300,52 @@ class BackscatterAngleSearch:
         Fig. 8 experiment; tests verify it matches the reference
         implementation probe-for-probe in distribution.
         """
-        refl_angles = np.arange(40.0, 140.0 + reflector_step_deg / 2.0, reflector_step_deg)
-        scan = self.ap.config.array.max_scan_deg
-        ap_angles = np.arange(
-            self.ap.boresight_deg - scan,
-            self.ap.boresight_deg + scan + ap_step_deg / 2.0,
-            ap_step_deg,
-        )
-        ap_gain = self.ap.array.gain_dbi_batch(self._bearing_ap_to_refl, ap_angles)
-        self.reflector.amplifier.set_gain_db(self.search_gain_db)
-        refl_azimuths = self.reflector.prototype_to_azimuth(refl_angles)
-        through = self.reflector.through_gain_db_batch(
-            self._bearing_refl_to_ap,
-            self._bearing_refl_to_ap,
-            rx_steer_azimuth_deg=refl_azimuths,
-            tx_steer_azimuth_deg=refl_azimuths,
-        )
-        through = np.where(np.isnan(through), 0.0, through)
-        one_way = self.channel.path_gain_db(self._path)
-        const = (
-            self.ap.config.tx_power_dbm
-            + 2.0 * one_way
-            - self.ap.config.implementation_loss_db
-            + 10.0 * math.log10(OOK_SIDEBAND_FRACTION)
-        )
-        # The sideband power separates into an AP term and a reflector
-        # term, so its amplitude grid is an outer product of two short
-        # vectors — no dB->linear conversion of the full grid needed.
-        amplitude = 10.0 ** (const / 20.0) * np.outer(
-            10.0 ** (ap_gain / 10.0), 10.0 ** (through / 20.0)
-        )
-        p_noise = 10.0 ** (self._noise_in_band_dbm() / 10.0)
-        noise = self._rng.normal(0.0, math.sqrt(p_noise / 2.0), (2,) + amplitude.shape)
-        estimate = (amplitude + noise[0]) ** 2 + noise[1] ** 2
-        flat = int(np.argmax(estimate))
-        i, j = np.unravel_index(flat, estimate.shape)
+        with telemetry.span(
+            "angle_search.sweep", protocol="backscatter-fast", signal_level=False
+        ) as sp:
+            started = time.perf_counter()
+            refl_angles = np.arange(
+                40.0, 140.0 + reflector_step_deg / 2.0, reflector_step_deg
+            )
+            scan = self.ap.config.array.max_scan_deg
+            ap_angles = np.arange(
+                self.ap.boresight_deg - scan,
+                self.ap.boresight_deg + scan + ap_step_deg / 2.0,
+                ap_step_deg,
+            )
+            ap_gain = self.ap.array.gain_dbi_batch(self._bearing_ap_to_refl, ap_angles)
+            self.reflector.amplifier.set_gain_db(self.search_gain_db)
+            refl_azimuths = self.reflector.prototype_to_azimuth(refl_angles)
+            through = self.reflector.through_gain_db_batch(
+                self._bearing_refl_to_ap,
+                self._bearing_refl_to_ap,
+                rx_steer_azimuth_deg=refl_azimuths,
+                tx_steer_azimuth_deg=refl_azimuths,
+            )
+            through = np.where(np.isnan(through), 0.0, through)
+            one_way = self.channel.path_gain_db(self._path)
+            const = (
+                self.ap.config.tx_power_dbm
+                + 2.0 * one_way
+                - self.ap.config.implementation_loss_db
+                + 10.0 * math.log10(OOK_SIDEBAND_FRACTION)
+            )
+            # The sideband power separates into an AP term and a reflector
+            # term, so its amplitude grid is an outer product of two short
+            # vectors — no dB->linear conversion of the full grid needed.
+            amplitude = 10.0 ** (const / 20.0) * np.outer(
+                10.0 ** (ap_gain / 10.0), 10.0 ** (through / 20.0)
+            )
+            p_noise = 10.0 ** (self._noise_in_band_dbm() / 10.0)
+            noise = self._rng.normal(0.0, math.sqrt(p_noise / 2.0), (2,) + amplitude.shape)
+            estimate = (amplitude + noise[0]) ** 2 + noise[1] ** 2
+            flat = int(np.argmax(estimate))
+            i, j = np.unravel_index(flat, estimate.shape)
+            sp.attrs["probes"] = int(estimate.size)
+            telemetry.observe(
+                "angle_search.sweep_ms", (time.perf_counter() - started) * 1000.0
+            )
+            telemetry.inc("angle_search.probes", int(estimate.size))
         return AngleSearchResult(
             reflector_angle_deg=float(refl_angles[j]),
             ap_angle_deg=float(ap_angles[i]),
@@ -469,9 +493,16 @@ class ReflectionAngleSearch:
         def batch_metric(hs_deg: np.ndarray, refl_deg: np.ndarray) -> np.ndarray:
             return self.sideband_at_headset_dbm_batch(refl_deg, hs_deg)
 
-        sweep = exhaustive_joint_sweep(
-            hs_codebook, refl_codebook, batch_metric=batch_metric
-        )
+        with telemetry.span("angle_search.sweep", protocol="reflection") as sp:
+            started = time.perf_counter()
+            sweep = exhaustive_joint_sweep(
+                hs_codebook, refl_codebook, batch_metric=batch_metric
+            )
+            sp.attrs["probes"] = sweep.num_probes
+            telemetry.observe(
+                "angle_search.sweep_ms", (time.perf_counter() - started) * 1000.0
+            )
+            telemetry.inc("angle_search.probes", sweep.num_probes)
         truth_refl = self.reflector.azimuth_to_prototype(self._bearing_refl_to_hs)
         return AngleSearchResult(
             reflector_angle_deg=sweep.best_rx_deg,

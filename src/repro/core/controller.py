@@ -12,9 +12,11 @@ exposes per-instant link decisions for the experiments.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
+from repro import telemetry
 from repro.core.gain_control import CurrentSensingGainController, GainControlResult
 from repro.core.reflector import MoVRReflector
 from repro.geometry.raytrace import RayTracer
@@ -89,6 +91,12 @@ class MoVRSystem:
         self.elevated_mounting = elevated_mounting
         self._rng = make_rng(rng)
         self._gain_results: Dict[str, GainControlResult] = {}
+        # Link-state memory behind the typed event log: decide() emits
+        # blockage/handoff/outage transitions by comparing against the
+        # previous instant.
+        self._last_mode: Optional[str] = None
+        self._last_via: Optional[str] = None
+        self._blockage_active = False
 
     # ------------------------------------------------------------------
     # Calibration
@@ -102,14 +110,15 @@ class MoVRSystem:
         knee is then found at the installed beam geometry.
         """
         results: Dict[str, GainControlResult] = {}
-        for reflector in self.reflectors:
-            reflector.set_beams(
-                bearing_deg(reflector.position, self.ap.position),
-                reflector.tx_azimuth_deg,
-            )
-            input_dbm = self._amp_input_dbm(reflector, extra_occluders=())
-            controller = CurrentSensingGainController(reflector, rng=self._rng)
-            results[reflector.name] = controller.calibrate(input_dbm)
+        with telemetry.span("controller.calibrate", reflectors=len(self.reflectors)):
+            for reflector in self.reflectors:
+                reflector.set_beams(
+                    bearing_deg(reflector.position, self.ap.position),
+                    reflector.tx_azimuth_deg,
+                )
+                input_dbm = self._amp_input_dbm(reflector, extra_occluders=())
+                controller = CurrentSensingGainController(reflector, rng=self._rng)
+                results[reflector.name] = controller.calibrate(input_dbm)
         self._gain_results = results
         return results
 
@@ -260,37 +269,114 @@ class MoVRSystem:
         self,
         headset_radio: Radio,
         extra_occluders: Sequence[Occluder] = (),
+        t_s: Optional[float] = None,
     ) -> LinkDecision:
         """Pick the serving path for the current instant.
 
         The direct path is preferred whenever it clears the handoff
         threshold (it needs no relay resources); otherwise the best
         reflector serves; if nothing decodes, the link is in outage.
+
+        ``t_s`` (the caller's clock, e.g. simulation time) stamps the
+        control-plane events this decision may emit — blockage
+        detected/cleared, AP<->reflector handoff, outage begin/end.
         """
+        started = time.perf_counter()
         direct = self.direct_link(headset_radio, extra_occluders)
         if direct.snr_db >= self.handoff_snr_db:
-            return LinkDecision(
+            decision = LinkDecision(
                 mode="los",
                 snr_db=direct.snr_db,
                 rate_mbps=data_rate_mbps_for_snr(direct.snr_db),
                 direct_snr_db=direct.snr_db,
             )
-        relay = self.best_relay(headset_radio, extra_occluders)
-        if relay is not None and relay.end_to_end_snr_db > direct.snr_db:
-            snr = relay.end_to_end_snr_db
-            rate = data_rate_mbps_for_snr(snr)
-            mode = "reflector" if rate > 0.0 else "outage"
-            return LinkDecision(
-                mode=mode,
-                snr_db=snr,
-                rate_mbps=rate,
-                via=relay.reflector_name,
-                direct_snr_db=direct.snr_db,
-            )
-        rate = data_rate_mbps_for_snr(direct.snr_db)
-        return LinkDecision(
-            mode="los" if rate > 0.0 else "outage",
-            snr_db=direct.snr_db,
-            rate_mbps=rate,
-            direct_snr_db=direct.snr_db,
+        else:
+            relay = self.best_relay(headset_radio, extra_occluders)
+            if relay is not None and relay.end_to_end_snr_db > direct.snr_db:
+                snr = relay.end_to_end_snr_db
+                rate = data_rate_mbps_for_snr(snr)
+                decision = LinkDecision(
+                    mode="reflector" if rate > 0.0 else "outage",
+                    snr_db=snr,
+                    rate_mbps=rate,
+                    via=relay.reflector_name,
+                    direct_snr_db=direct.snr_db,
+                )
+            else:
+                rate = data_rate_mbps_for_snr(direct.snr_db)
+                decision = LinkDecision(
+                    mode="los" if rate > 0.0 else "outage",
+                    snr_db=direct.snr_db,
+                    rate_mbps=rate,
+                    direct_snr_db=direct.snr_db,
+                )
+        telemetry.inc("controller.decisions")
+        telemetry.observe(
+            "controller.decide_ms", (time.perf_counter() - started) * 1000.0
         )
+        self._emit_transitions(decision, t_s)
+        return decision
+
+    # ------------------------------------------------------------------
+    # Control-plane event log
+    # ------------------------------------------------------------------
+
+    def reset_link_state(self) -> None:
+        """Forget the previous decision (start of a fresh session).
+
+        Without this, the first decision of a new session would be
+        compared against the last decision of the previous one and
+        could emit a spurious handoff/outage transition.
+        """
+        self._last_mode = None
+        self._last_via = None
+        self._blockage_active = False
+
+    def _emit_transitions(self, decision: LinkDecision, t_s: Optional[float]) -> None:
+        """Emit typed events for every state change this decision made."""
+        blocked = decision.direct_snr_db < self.handoff_snr_db
+        if blocked and not self._blockage_active:
+            telemetry.emit(
+                telemetry.EventKind.BLOCKAGE_DETECTED,
+                t_s=t_s,
+                direct_snr_db=decision.direct_snr_db,
+                threshold_db=self.handoff_snr_db,
+            )
+        elif not blocked and self._blockage_active:
+            telemetry.emit(
+                telemetry.EventKind.BLOCKAGE_CLEARED,
+                t_s=t_s,
+                direct_snr_db=decision.direct_snr_db,
+            )
+        self._blockage_active = blocked
+        if self._last_mode is not None and (
+            decision.mode != self._last_mode or decision.via != self._last_via
+        ):
+            if decision.mode == "outage":
+                telemetry.emit(
+                    telemetry.EventKind.OUTAGE_BEGIN,
+                    t_s=t_s,
+                    from_mode=self._last_mode,
+                    snr_db=decision.snr_db,
+                )
+            elif self._last_mode == "outage":
+                telemetry.emit(
+                    telemetry.EventKind.OUTAGE_END,
+                    t_s=t_s,
+                    to_mode=decision.mode,
+                    via=decision.via,
+                    snr_db=decision.snr_db,
+                )
+            else:
+                telemetry.emit(
+                    telemetry.EventKind.HANDOFF,
+                    t_s=t_s,
+                    from_mode=self._last_mode,
+                    from_via=self._last_via,
+                    to_mode=decision.mode,
+                    to_via=decision.via,
+                    snr_db=decision.snr_db,
+                    direct_snr_db=decision.direct_snr_db,
+                )
+        self._last_mode = decision.mode
+        self._last_via = decision.via

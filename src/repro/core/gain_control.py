@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.reflector import MoVRReflector
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import require_int, require_non_negative, require_positive
@@ -123,6 +124,7 @@ class CurrentSensingGainController:
         currents = [previous]
         steps = 0
         knee = False
+        telemetry.inc("gain_control.calibrations")
         while gain < amp.spec.max_gain_db:
             gain = amp.set_gain_db(gain + self.step_db)
             reading = self.sensor.read_ma(input_power_dbm, self.samples_per_reading)
@@ -131,8 +133,17 @@ class CurrentSensingGainController:
             currents.append(reading)
             if reading - previous > self.jump_threshold_ma:
                 # Sudden rise: the amplifier is entering saturation.
+                tripped_gain_db = gain
                 gain = amp.set_gain_db(gain - self.step_db - self.backoff_db)
                 knee = True
+                telemetry.emit(
+                    telemetry.EventKind.GAIN_BACKOFF,
+                    reflector=getattr(self.reflector, "name", "reflector"),
+                    tripped_gain_db=tripped_gain_db,
+                    final_gain_db=amp.gain_db,
+                    current_jump_ma=reading - previous,
+                    steps=steps,
+                )
                 break
             previous = reading
         return GainControlResult(

@@ -17,26 +17,25 @@ for it twice at search time.
 from __future__ import annotations
 
 
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.link.codebook_design import (
     analyze_coverage,
     design_sector_codebook,
     search_cost_frames,
 )
 from repro.phy.antenna import PhasedArray, PhasedArrayConfig
-from repro.sim.counters import COUNTERS
 
 #: Array sizes swept (the prototype uses 16 elements).
 ELEMENT_COUNTS = (8, 16, 32)
 
 
+@scoped_run("ablation-codebook")
 def run_ablation_codebook(
     max_scalloping_db: float = 3.0,
 ) -> ExperimentReport:
     """Codebook size and search cost across array apertures."""
     if max_scalloping_db <= 0.0:
         raise ValueError("max_scalloping_db must be positive")
-    COUNTERS.reset()
     report = ExperimentReport(
         experiment_id="ablation-codebook",
         title="Codebook granularity: beams, coverage, search cost",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.core.controller import MoVRSystem
 from repro.core.reflector import MoVRReflector
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import (
     BLOCKING_SCENARIOS,
     ROOM_SIZE_M,
@@ -92,6 +92,7 @@ def _coverage(system: MoVRSystem, rng, num_poses: int) -> float:
     return hits / total
 
 
+@scoped_run("ablation-deployment")
 def run_ablation_deployment(
     num_poses: int = 8,
     seed: RngLike = None,

@@ -27,11 +27,12 @@ from repro.core.gain_control import (
     oracle_gain_db,
 )
 from repro.core.reflector import MoVRReflector
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.geometry.vectors import Vec2
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 
+@scoped_run("ablation-gain")
 def run_ablation_gain(
     num_angle_pairs: int = 25,
     input_power_dbm: float = -48.0,

@@ -22,7 +22,7 @@ from typing import Dict
 
 
 from repro.experiments.e2e_session import _sample_blockage_events
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import Testbed, default_testbed
 from repro.geometry.mobility import VrPlayerMotion
 from repro.link.radios import HEADSET_RADIO_CONFIG, Radio
@@ -36,6 +36,7 @@ THRESHOLDS_DB = (5.0, 13.0, 21.0, 27.0)
 HANDOFF_COST_FRAMES = 1
 
 
+@scoped_run("ablation-handoff")
 def run_ablation_handoff(
     duration_s: float = 12.0,
     seed: RngLike = None,

@@ -23,17 +23,17 @@ from repro.core.angle_search import BackscatterAngleSearch
 from repro.core.leakage import ReflectorLeakageModel
 from repro.core.reflector import REFLECTOR_ARRAY
 from repro.experiments.fig8_alignment import _random_reflector
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.geometry.raytrace import RayTracer
 from repro.geometry.room import standard_office
 from repro.geometry.vectors import Vec2
 from repro.link.beams import DEFAULT_PROBE_TIME_S, Codebook, exhaustive_joint_sweep
 from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio
 from repro.phy.channel import MmWaveChannel
-from repro.sim.counters import COUNTERS
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 
+@scoped_run("ablation-search")
 def run_ablation_search(
     num_runs: int = 15,
     seed: RngLike = None,
@@ -41,7 +41,6 @@ def run_ablation_search(
     """Compare joint-search strategies on the alignment task."""
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
-    COUNTERS.reset()
     rng = make_rng(seed)
     room = standard_office(furnished=False)
     tracer = RayTracer(room)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.core.controller import MoVRSystem
 from repro.core.reflector import MoVRReflector
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.geometry.room import DRYWALL, Room, Wall, rectangular_room
 from repro.geometry.shapes import Segment
 from repro.geometry.vectors import Vec2, bearing_deg
@@ -41,6 +41,7 @@ def build_apartment() -> Room:
     return apartment
 
 
+@scoped_run("ext-apartment")
 def run_apartment(seed: RngLike = None) -> ExperimentReport:
     """Coverage map of the two-room apartment."""
     rng = make_rng(seed)

@@ -22,7 +22,7 @@ from repro.baselines.multi_ap import MultiApBaseline, movr_deployment_cost
 from repro.baselines.nlos_relay import OptNlosBaseline
 from repro.baselines.static_mirror import StaticMirrorBaseline, wall_panel
 from repro.baselines.wifi import DEFAULT_WIFI, max_wifi_goodput_mbps
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import (
     BLOCKING_SCENARIOS,
     Testbed,
@@ -34,6 +34,7 @@ from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.vr.traffic import DEFAULT_TRAFFIC
 
 
+@scoped_run("comparison")
 def run_comparison(
     num_runs: int = 12,
     seed: RngLike = None,

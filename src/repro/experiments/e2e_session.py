@@ -19,7 +19,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import (
     BLOCKING_SCENARIOS,
     BlockageScenario,
@@ -117,6 +117,10 @@ class _SessionRunner:
     def run(self) -> GlitchTracker:
         sim = Simulator()
         system = self.bed.system
+        # Both compared sessions share the testbed's controller; start
+        # each from a clean slate so the event log only records this
+        # session's transitions.
+        system.reset_link_state()
         frame_interval = self.traffic.frame_interval_s
 
         def deliver_frame(simulator: Simulator) -> None:
@@ -130,11 +134,11 @@ class _SessionRunner:
             )
             occluders = self._occluders_at(t, pose.position)
             if self.use_movr:
-                decision = system.decide(headset, extra_occluders=occluders)
+                decision = system.decide(headset, extra_occluders=occluders, t_s=t)
                 snr = decision.snr_db
             else:
                 snr = system.direct_link(headset, extra_occluders=occluders).snr_db
-            self.adapter.observe(snr)
+            self.adapter.observe(snr, t_s=t)
             rate = self.adapter.current_rate_mbps
             airtime = self.traffic.frame_airtime_s(rate)
             index = len(self.tracker.outcomes)
@@ -157,6 +161,7 @@ class _SessionRunner:
         return self.tracker
 
 
+@scoped_run("ext-e2e")
 def run_e2e_session(
     duration_s: float = 20.0,
     seed: RngLike = None,

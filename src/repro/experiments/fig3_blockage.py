@@ -23,7 +23,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.baselines.nlos_relay import OptNlosBaseline
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import (
     BLOCKING_SCENARIOS,
     BlockageScenario,
@@ -32,7 +32,6 @@ from repro.experiments.testbed import (
 )
 from repro.phy.ofdm import OfdmModem, measure_link_snr_db
 from repro.rate.mcs import data_rate_mbps_for_snr
-from repro.sim.counters import COUNTERS
 from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.vr.traffic import DEFAULT_TRAFFIC
 
@@ -67,6 +66,7 @@ def _ofdm_measured_snr_db(true_snr_db: float, modem: OfdmModem, rng) -> float:
     )
 
 
+@scoped_run("fig3")
 def run_fig3(
     num_placements: int = 20,
     seed: RngLike = None,
@@ -76,7 +76,6 @@ def run_fig3(
     """Regenerate both panels of Fig. 3 (SNR bars and rate bars)."""
     if num_placements < 1:
         raise ValueError("num_placements must be >= 1")
-    COUNTERS.reset()
     rng = make_rng(seed)
     bed = testbed if testbed is not None else default_testbed(seed=child_rng(rng, 0))
     system = bed.system

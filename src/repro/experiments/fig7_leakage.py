@@ -18,12 +18,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.leakage import ReflectorLeakageModel
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 
 #: RX beam angles of the figure's two panels.
 FIGURE_RX_ANGLES_DEG = (50.0, 65.0)
 
 
+@scoped_run("fig7")
 def run_fig7(
     rx_angles_deg: Sequence[float] = FIGURE_RX_ANGLES_DEG,
     tx_step_deg: float = 1.0,

@@ -23,12 +23,11 @@ from repro.core.reflector import REFLECTOR_ARRAY, MoVRReflector
 from repro.geometry.raytrace import RayTracer
 from repro.geometry.room import standard_office
 from repro.geometry.vectors import Vec2, bearing_deg
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import PLACEMENT_MARGIN_M, ROOM_SIZE_M
 from repro.link.radios import DEFAULT_RADIO_CONFIG, Radio
 from repro.phy.antenna import PhasedArrayConfig
 from repro.phy.channel import MmWaveChannel
-from repro.sim.counters import COUNTERS
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 
@@ -63,6 +62,7 @@ def _random_reflector(
     raise RuntimeError("could not place a reflector facing the AP")
 
 
+@scoped_run("fig8")
 def run_fig8(
     num_runs: int = 100,
     seed: RngLike = None,
@@ -73,7 +73,6 @@ def run_fig8(
     """Regenerate Fig. 8: estimated vs ground-truth incidence angle."""
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
-    COUNTERS.reset()
     rng = make_rng(seed)
     room = standard_office(furnished=False)
     tracer = RayTracer(room)

@@ -24,19 +24,19 @@ from typing import List
 import numpy as np
 
 from repro.baselines.nlos_relay import OptNlosBaseline
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import (
     BLOCKING_SCENARIOS,
     Testbed,
     default_testbed,
 )
 from repro.rate.mcs import data_rate_mbps_for_snr
-from repro.sim.counters import COUNTERS
 from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.utils.stats import EmpiricalCdf
 from repro.vr.traffic import DEFAULT_TRAFFIC
 
 
+@scoped_run("fig9")
 def run_fig9(
     num_runs: int = 20,
     seed: RngLike = None,
@@ -45,7 +45,6 @@ def run_fig9(
     """Regenerate Fig. 9: per-run SNR improvements and their CDFs."""
     if num_runs < 1:
         raise ValueError("num_runs must be >= 1")
-    COUNTERS.reset()
     rng = make_rng(seed)
     bed = testbed if testbed is not None else default_testbed(seed=child_rng(rng, 0))
     system = bed.system

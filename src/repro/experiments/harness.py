@@ -1,4 +1,4 @@
-"""Experiment harness: reports, tables, and paper-shape checks.
+"""Experiment harness: reports, tables, paper-shape checks, telemetry.
 
 Every experiment module returns a :class:`ExperimentReport` carrying
 the raw rows (one dict per table row / CDF point), free-form notes,
@@ -6,14 +6,29 @@ and a list of :class:`ShapeCheck` results — assertions that the
 *shape* of the reproduced figure matches the paper's qualitative
 claims (who wins, by roughly what factor), which is the reproduction
 contract recorded in EXPERIMENTS.md.
+
+Each ``run_*`` function is wrapped in :func:`scoped_run`, which gives
+the run its own :mod:`repro.telemetry` scope.  The report therefore
+also carries that run's **telemetry**: the metric snapshot (counters,
+gauges, histogram quantiles), the typed control-plane event log, and
+the tracing-span tree — all rendered in the text report and
+serialized in the JSON.  Nested experiment invocations are safe: a
+sub-experiment records into (and may reset) only its own scope, and
+its totals fold into the caller's scope when it returns.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.sim.counters import COUNTERS
+from repro.telemetry.scopes import TelemetryScope
+
+#: How many events the text report shows without ``--events``.
+DEFAULT_MAX_EVENTS = 8
 
 
 @dataclass(frozen=True)
@@ -39,20 +54,34 @@ class ExperimentReport:
     checks: List[ShapeCheck] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     perf: Dict[str, object] = field(default_factory=dict)
+    #: Typed control-plane events (dicts with ``kind``/``t_s``/state).
+    events: List[Dict[str, object]] = field(default_factory=list)
+    #: Tracing-span trees (see :class:`repro.telemetry.Span`).
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    #: Full metric snapshot: counters, gauges, histogram quantiles.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, **fields: object) -> None:
         self.rows.append(dict(fields))
 
     def attach_perf(self) -> None:
-        """Snapshot the global perf counters into the report.
+        """Snapshot the active scope's legacy perf counters.
 
-        Experiments call :func:`repro.sim.counters.COUNTERS.reset` at
-        entry and this at exit, so ``perf`` reflects that run's scene
-        tracing and kernel activity (cache hit rate, batch sizes).
+        Kept for the pre-telemetry report surface: ``perf`` carries
+        the seven scene/kernel counters plus the derived rates.  The
+        full metric snapshot (histograms included) lands in
+        :attr:`metrics` via :meth:`attach_telemetry`.
         """
         self.perf = dict(COUNTERS.snapshot())
         self.perf["cache_hit_rate"] = round(COUNTERS.cache_hit_rate, 4)
         self.perf["mean_kernel_batch"] = round(COUNTERS.mean_kernel_batch, 2)
+
+    def attach_telemetry(self, scope: TelemetryScope) -> None:
+        """Capture everything a telemetry scope collected for this run."""
+        self.attach_perf()
+        self.metrics = scope.registry.snapshot()
+        self.events = [event.to_dict() for event in scope.events]
+        self.spans = [span.to_dict() for span in scope.tracer.roots]
 
     def check(self, claim: str, passed: bool, detail: str) -> ShapeCheck:
         result = ShapeCheck(claim=claim, passed=bool(passed), detail=detail)
@@ -95,8 +124,23 @@ class ExperimentReport:
             suffix.append(f"... ({len(self.rows) - max_rows} more rows)")
         return "\n".join([header, separator] + body + suffix)
 
-    def format_report(self, max_rows: Optional[int] = None) -> str:
-        """Full human-readable report: table, notes, shape checks."""
+    def format_events(self, max_events: Optional[int] = DEFAULT_MAX_EVENTS) -> List[str]:
+        """Event-log lines: ``[t=1.234s] handoff from_mode=los ...``."""
+        shown = self.events if max_events is None else self.events[:max_events]
+        lines = [f"  {_format_event(event)}" for event in shown]
+        if max_events is not None and len(self.events) > max_events:
+            lines.append(
+                f"  ... ({len(self.events) - max_events} more events; "
+                "--events shows all)"
+            )
+        return lines
+
+    def format_report(
+        self,
+        max_rows: Optional[int] = None,
+        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+    ) -> str:
+        """Full human-readable report: table, notes, checks, telemetry."""
         lines = [f"=== {self.experiment_id}: {self.title} ===", ""]
         lines.append(self.format_table(max_rows))
         if self.notes:
@@ -106,6 +150,10 @@ class ExperimentReport:
             lines.append("")
             lines.append("shape checks vs the paper:")
             lines.extend(f"  {c}" for c in self.checks)
+        if self.events:
+            lines.append("")
+            lines.append(f"control events ({len(self.events)}):")
+            lines.extend(self.format_events(max_events))
         if self.perf:
             lines.append("")
             lines.append("perf counters:")
@@ -113,10 +161,23 @@ class ExperimentReport:
                 f"  {key}: {_format_cell(value)}"
                 for key, value in self.perf.items()
             )
+        histograms = self.metrics.get("histograms") if self.metrics else None
+        if histograms:
+            lines.append("")
+            lines.append("latency histograms (ms):")
+            for name, digest in histograms.items():
+                lines.append(f"  {name}: {_format_histogram(digest)}")
+        if self.spans:
+            lines.append("")
+            lines.append(f"trace spans: {sum(_span_count(s) for s in self.spans)}")
         return "\n".join(lines)
 
-    def print_report(self, max_rows: Optional[int] = None) -> None:
-        print(self.format_report(max_rows))
+    def print_report(
+        self,
+        max_rows: Optional[int] = None,
+        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        print(self.format_report(max_rows, max_events=max_events))
 
     # -- serialization ------------------------------------------------------
 
@@ -133,6 +194,9 @@ class ExperimentReport:
             ],
             "all_checks_pass": self.all_checks_pass,
             "perf": dict(self.perf),
+            "events": [dict(e) for e in self.events],
+            "spans": [dict(s) for s in self.spans],
+            "metrics": dict(self.metrics),
         }
 
     def save_json(self, path: str) -> None:
@@ -172,7 +236,69 @@ class ExperimentReport:
         for check in data["checks"]:
             report.check(check["claim"], check["passed"], check["detail"])
         report.perf = dict(data.get("perf", {}))
+        report.events = [dict(e) for e in data.get("events", [])]
+        report.spans = [dict(s) for s in data.get("spans", [])]
+        report.metrics = dict(data.get("metrics", {}))
         return report
+
+
+def scoped_run(
+    experiment_id: str,
+) -> Callable[[Callable[..., ExperimentReport]], Callable[..., ExperimentReport]]:
+    """Give an experiment's ``run_*`` function its own telemetry scope.
+
+    The wrapped function runs inside ``telemetry.scope(experiment_id)``
+    under a root span named after the experiment; on return, the
+    scope's metrics, events, and spans are attached to the report.
+    Because scopes nest, an experiment invoked from inside another
+    experiment (or from a test that is itself measuring) can neither
+    zero nor steal its caller's counters — the caller absorbs the
+    sub-run's totals when the scope exits.
+    """
+
+    def decorate(fn: Callable[..., ExperimentReport]) -> Callable[..., ExperimentReport]:
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object) -> ExperimentReport:
+            with telemetry.scope(experiment_id) as sc:
+                with telemetry.span(experiment_id):
+                    report = fn(*args, **kwargs)
+                if isinstance(report, ExperimentReport):
+                    report.attach_telemetry(sc)
+            return report
+
+        return wrapper
+
+    return decorate
+
+
+def _format_event(event: Dict[str, object]) -> str:
+    t_s = event.get("t_s")
+    when = "t=?" if t_s is None else f"t={float(t_s):.3f}s"
+    kind = event.get("kind", "?")
+    detail = " ".join(
+        f"{k}={_format_cell(v)}"
+        for k, v in event.items()
+        if k not in ("kind", "t_s")
+    )
+    return f"[{when}] {kind}" + (f" {detail}" if detail else "")
+
+
+def _format_histogram(digest: object) -> str:
+    if not isinstance(digest, dict):
+        return str(digest)
+    parts = [f"n={digest.get('count')}"]
+    for key in ("mean", "p50", "p95", "p99", "max"):
+        value = digest.get(key)
+        if isinstance(value, (int, float)):
+            parts.append(f"{key}={value:.3f}")
+    return " ".join(parts)
+
+
+def _span_count(span: Dict[str, object]) -> int:
+    children = span.get("children")
+    if not isinstance(children, list):
+        return 1
+    return 1 + sum(_span_count(c) for c in children if isinstance(c, dict))
 
 
 def _format_cell(value: object) -> str:

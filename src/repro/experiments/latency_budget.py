@@ -24,7 +24,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.link.arq import ArqFrameLink, delivery_statistics
 from repro.utils.rng import RngLike, child_rng, make_rng
 from repro.vr.traffic import DEFAULT_TRAFFIC
@@ -33,6 +33,7 @@ from repro.vr.traffic import DEFAULT_TRAFFIC
 SNR_GRID_DB = (8.0, 11.0, 13.0, 15.0, 18.0, 22.0, 26.0, 30.0)
 
 
+@scoped_run("ext-latency")
 def run_latency_budget(
     frames_per_point: int = 400,
     seed: RngLike = None,

@@ -11,10 +11,11 @@ an untethered headset must also carry).
 
 from __future__ import annotations
 
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.vr.power import ANKER_ASTRO_5200, BatteryPack, HeadsetPowerModel
 
 
+@scoped_run("sec6-battery")
 def run_power_budget(battery: BatteryPack = ANKER_ASTRO_5200) -> ExperimentReport:
     """Regenerate the section 6 battery-life estimate."""
     report = ExperimentReport(

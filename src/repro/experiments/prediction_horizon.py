@@ -20,7 +20,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core.prediction import PoseKalmanFilter
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.geometry.mobility import MotionTrace, VrPlayerMotion
 from repro.geometry.room import standard_office
 from repro.geometry.vectors import Vec2, bearing_deg
@@ -70,6 +70,7 @@ def _steering_errors_deg(
     return errors
 
 
+@scoped_run("ext-prediction")
 def run_prediction_horizon(
     duration_s: float = 20.0,
     seed: RngLike = None,

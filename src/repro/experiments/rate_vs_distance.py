@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.controller import MoVRSystem
 from repro.core.reflector import MoVRReflector
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.geometry.room import rectangular_room
 from repro.geometry.vectors import Vec2, bearing_deg
 from repro.link.radios import DEFAULT_RADIO_CONFIG, HEADSET_RADIO_CONFIG, Radio
@@ -28,6 +28,7 @@ from repro.vr.traffic import DEFAULT_TRAFFIC
 HALL_SIZE_M = 18.0
 
 
+@scoped_run("ext-rate-distance")
 def run_rate_vs_distance(
     num_steps: int = 14,
     seed: RngLike = None,

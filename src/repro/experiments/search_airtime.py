@@ -23,7 +23,7 @@ from repro.control.protocol import ReflectorCoordinator
 from repro.control.scheduler import AirtimeScheduler, compare_search_strategies
 from repro.core.angle_search import BackscatterAngleSearch
 from repro.core.reflector import MoVRReflector
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.geometry.raytrace import RayTracer
 from repro.geometry.room import standard_office
 from repro.geometry.vectors import Vec2, bearing_deg
@@ -34,6 +34,7 @@ from repro.phy.channel import MmWaveChannel
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 
+@scoped_run("ext-search-airtime")
 def run_search_airtime(seed: RngLike = None) -> ExperimentReport:
     """Frame cost and installation time of each alignment strategy."""
     rng = make_rng(seed)

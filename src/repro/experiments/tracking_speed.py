@@ -25,7 +25,7 @@ from typing import List
 import numpy as np
 
 from repro.core.tracking import PoseAssistedTracker
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import Testbed, default_testbed
 from repro.geometry.mobility import VrPlayerMotion
 from repro.geometry.vectors import Vec2, bearing_deg
@@ -34,6 +34,7 @@ from repro.link.radios import HEADSET_RADIO_CONFIG, Radio
 from repro.utils.rng import RngLike, child_rng, make_rng
 
 
+@scoped_run("ext-tracking")
 def run_tracking_speed(
     duration_s: float = 10.0,
     update_rate_hz: float = 30.0,

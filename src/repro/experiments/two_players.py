@@ -16,7 +16,7 @@ from typing import List
 
 import numpy as np
 
-from repro.experiments.harness import ExperimentReport
+from repro.experiments.harness import ExperimentReport, scoped_run
 from repro.experiments.testbed import PLACEMENT_MARGIN_M, ROOM_SIZE_M
 from repro.geometry.room import standard_office
 from repro.geometry.raytrace import RayTracer
@@ -41,6 +41,7 @@ def _random_position(rng: np.random.Generator, avoid: Vec2, min_gap_m: float) ->
     raise RuntimeError("could not place the second player")
 
 
+@scoped_run("ext-two-players")
 def run_two_players(
     num_pose_pairs: int = 25,
     seed: RngLike = None,

@@ -20,6 +20,7 @@ single measurements agree bit-for-bit.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -29,8 +30,8 @@ from repro.geometry.raytrace import PropagationPath, RayTracer
 from repro.geometry.room import Occluder
 from repro.link.radios import Radio
 from repro.phy.channel import MmWaveChannel
+from repro import telemetry
 from repro.sim.cache import SceneCache
-from repro.sim.counters import COUNTERS
 from repro.utils.db import db_sum_powers
 
 
@@ -193,14 +194,20 @@ class LinkBudget:
                 max_bounces=max_bounces,
                 extra_occluders=extra_occluders,
             )
-        COUNTERS.link_sweeps += 1
+        telemetry.inc("link.sweeps")
+        started = time.perf_counter()
         shape = np.broadcast(
             np.asarray(tx_steer_deg, dtype=float), np.asarray(rx_steer_deg, dtype=float)
         ).shape
         if not paths:
-            return np.full(shape, -np.inf)
-        powers = self.path_powers_dbm(tx, rx, paths, tx_steer_deg, rx_steer_deg)
-        return np.asarray(db_sum_powers(powers, axis=0))
+            result = np.full(shape, -np.inf)
+        else:
+            powers = self.path_powers_dbm(tx, rx, paths, tx_steer_deg, rx_steer_deg)
+            result = np.asarray(db_sum_powers(powers, axis=0))
+        telemetry.observe(
+            "link.sweep_ms", (time.perf_counter() - started) * 1000.0
+        )
+        return result
 
     # -- scalar evaluation ----------------------------------------------
 
@@ -296,8 +303,12 @@ class LinkBudget:
 
         The scene is traced once; all candidate alignments (both beams
         steered onto each path, through the arrays' clipping and
-        quantization) are evaluated in one batched pass.
+        quantization) are evaluated in one batched pass.  As the
+        batched stand-in for a physical joint sweep it feeds the same
+        ``link.sweeps`` / ``link.sweep_ms`` metrics as :meth:`sweep`.
         """
+        telemetry.inc("link.sweeps")
+        started = time.perf_counter()
         all_paths = self.cache.all_paths(
             tx.position, rx.position, max_bounces=max_bounces, extra_occluders=extra_occluders
         )
@@ -305,22 +316,30 @@ class LinkBudget:
         if not include_los:
             candidates = [p for p in candidates if not p.is_line_of_sight]
         if not candidates or not all_paths:
-            return LinkMeasurement.outage(tx.steering_deg, rx.steering_deg)
-        tx_steers = tx.array.steer_to_batch(
-            np.asarray([p.departure_angle_deg for p in candidates])
+            result = LinkMeasurement.outage(tx.steering_deg, rx.steering_deg)
+        else:
+            tx_steers = tx.array.steer_to_batch(
+                np.asarray([p.departure_angle_deg for p in candidates])
+            )
+            rx_steers = rx.array.steer_to_batch(
+                np.asarray([p.arrival_angle_deg for p in candidates])
+            )
+            powers = self.path_powers_dbm(tx, rx, all_paths, tx_steers, rx_steers)
+            totals = np.asarray(db_sum_powers(powers, axis=0))
+            best = int(np.argmax(totals))
+            if totals[best] == -np.inf:
+                result = LinkMeasurement.outage(
+                    float(tx_steers[best]), float(rx_steers[best])
+                )
+            else:
+                result = LinkMeasurement(
+                    received_power_dbm=float(totals[best]),
+                    snr_db=float(totals[best]) - rx.config.noise_floor_dbm,
+                    dominant_path=all_paths[int(np.argmax(powers[:, best]))],
+                    tx_steer_deg=float(tx_steers[best]),
+                    rx_steer_deg=float(rx_steers[best]),
+                )
+        telemetry.observe(
+            "link.sweep_ms", (time.perf_counter() - started) * 1000.0
         )
-        rx_steers = rx.array.steer_to_batch(
-            np.asarray([p.arrival_angle_deg for p in candidates])
-        )
-        powers = self.path_powers_dbm(tx, rx, all_paths, tx_steers, rx_steers)
-        totals = np.asarray(db_sum_powers(powers, axis=0))
-        best = int(np.argmax(totals))
-        if totals[best] == -np.inf:
-            return LinkMeasurement.outage(float(tx_steers[best]), float(rx_steers[best]))
-        return LinkMeasurement(
-            received_power_dbm=float(totals[best]),
-            snr_db=float(totals[best]) - rx.config.noise_floor_dbm,
-            dominant_path=all_paths[int(np.argmax(powers[:, best]))],
-            tx_steer_deg=float(tx_steers[best]),
-            rx_steer_deg=float(rx_steers[best]),
-        )
+        return result

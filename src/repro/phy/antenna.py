@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sim.counters import COUNTERS
+from repro import telemetry
 from repro.utils.units import (
     MOVR_CARRIER_HZ,
     angle_difference_deg,
@@ -228,13 +228,13 @@ class PhasedArray:
         n = cfg.num_elements
         theta = np.asarray(theta_deg, dtype=float)
         steer = np.asarray(steer_deg, dtype=float)
-        COUNTERS.kernel_batches += 1
-        COUNTERS.kernel_angles += int(np.broadcast(theta, steer).size)
         # Electrical angle difference in sin-space.
         behind = np.abs(theta) > 90.0
         sin_theta = np.sin(np.radians(theta))
         sin_steer = np.sin(np.radians(steer))
         psi = 2.0 * np.pi * cfg.spacing_wavelengths * (sin_theta - sin_steer)
+        telemetry.inc("kernel.batches")
+        telemetry.inc("kernel.angles", psi.size)
         af_db = _array_factor_db(n, psi)
         # Element pattern: patch cos^1.2 falloff, floored at the
         # backlobe level.
@@ -271,11 +271,11 @@ class PhasedArray:
         steer = angle_difference_deg_batch(steer_deg, self.boresight_deg)
         cfg = self.config
         n = cfg.num_elements
-        COUNTERS.kernel_batches += 1
-        COUNTERS.kernel_angles += int(np.broadcast(theta, steer).size)
         sin_theta = np.sin(np.radians(np.clip(theta, -90.0, 90.0)))
         sin_steer = np.sin(np.radians(steer))
         psi = 2.0 * np.pi * cfg.spacing_wavelengths * (sin_theta - sin_steer)
+        telemetry.inc("kernel.batches")
+        telemetry.inc("kernel.angles", psi.size)
         af_db = _array_factor_db(n, psi)
         cos_t = np.cos(np.radians(np.minimum(np.abs(theta), 90.0)))
         element_rel_db = 12.0 * np.log10(np.maximum(cos_t, 1e-6))

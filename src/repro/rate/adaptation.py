@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro import telemetry
 from repro.rate.mcs import Mcs, PhyType, best_mcs_for_snr
 from repro.utils.validation import require_non_negative
 
@@ -45,13 +46,19 @@ class RateAdapter:
     def current_rate_mbps(self) -> float:
         return 0.0 if self._current is None else self._current.data_rate_mbps
 
-    def observe(self, snr_db: float) -> Optional[Mcs]:
-        """Feed one SNR observation; returns the MCS now in use."""
+    def observe(self, snr_db: float, t_s: Optional[float] = None) -> Optional[Mcs]:
+        """Feed one SNR observation; returns the MCS now in use.
+
+        ``t_s`` (the caller's clock) stamps the ``rate_change`` event
+        emitted whenever the MCS actually moves.
+        """
+        previous = self._current
         target = best_mcs_for_snr(snr_db, phys=self.phys, margin_db=self.margin_db)
         if target is None:
             # Outage: drop everything immediately.
             self._current = None
             self._up_count = 0
+            self._emit_change(previous, snr_db, t_s)
             return None
         if self._current is None or target.data_rate_mbps < self._current.data_rate_mbps:
             # Never linger above what the channel supports.
@@ -61,6 +68,7 @@ class RateAdapter:
             elif target.data_rate_mbps < self._current.data_rate_mbps:
                 self._current = target
                 self._up_count = 0
+            self._emit_change(previous, snr_db, t_s)
             return self._current
         if target.data_rate_mbps > self._current.data_rate_mbps:
             self._up_count += 1
@@ -69,7 +77,24 @@ class RateAdapter:
                 self._up_count = 0
         else:
             self._up_count = 0
+        self._emit_change(previous, snr_db, t_s)
         return self._current
+
+    def _emit_change(
+        self, previous: Optional[Mcs], snr_db: float, t_s: Optional[float]
+    ) -> None:
+        before = None if previous is None else previous.data_rate_mbps
+        after = None if self._current is None else self._current.data_rate_mbps
+        if before == after:
+            return
+        telemetry.inc("rate.changes")
+        telemetry.emit(
+            telemetry.EventKind.RATE_CHANGE,
+            t_s=t_s,
+            from_rate_mbps=0.0 if previous is None else previous.data_rate_mbps,
+            to_rate_mbps=0.0 if self._current is None else self._current.data_rate_mbps,
+            snr_db=snr_db,
+        )
 
     def run(self, snr_series_db: Sequence[float]) -> List[float]:
         """Run over a whole SNR trace; returns the per-step rate in Mbps."""

@@ -23,8 +23,9 @@ Caching contract
 * Entries are evicted LRU beyond ``max_entries`` so motion traces with
   thousands of distinct poses cannot grow the cache without bound.
 
-All queries update :data:`repro.sim.counters.COUNTERS` (hits, misses,
-tracer calls), which experiment reports surface.
+All queries record into the active telemetry scope
+(``scene.cache.hits`` / ``scene.cache.misses`` / ``scene.tracer_calls``
+in :func:`repro.telemetry.metrics`), which experiment reports surface.
 """
 
 from __future__ import annotations
@@ -32,11 +33,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, List, Sequence, Tuple
 
+from repro import telemetry
 from repro.geometry.raytrace import PropagationPath, RayTracer
 from repro.geometry.room import Occluder
 from repro.geometry.shapes import AxisAlignedBox, Circle
 from repro.geometry.vectors import Vec2
-from repro.sim.counters import COUNTERS
 
 #: Default cache capacity (entries, i.e. distinct traced scenes).
 DEFAULT_MAX_ENTRIES = 1024
@@ -95,7 +96,7 @@ class SceneCache:
         (wall edits, material swaps on the traced room).
         """
         self._entries.clear()
-        COUNTERS.cache_invalidations += 1
+        telemetry.inc("scene.cache.invalidations")
 
     def _scene_key(
         self, kind: str, tx: Vec2, rx: Vec2, extra_occluders: Sequence[Occluder]
@@ -113,11 +114,11 @@ class SceneCache:
     def _lookup(self, key: Tuple, compute):
         entry = self._entries.get(key)
         if entry is not None:
-            COUNTERS.cache_hits += 1
+            telemetry.inc("scene.cache.hits")
             self._entries.move_to_end(key)
             return entry
-        COUNTERS.cache_misses += 1
-        COUNTERS.tracer_calls += 1
+        telemetry.inc("scene.cache.misses")
+        telemetry.inc("scene.tracer_calls")
         entry = compute()
         self._entries[key] = entry
         if len(self._entries) > self.max_entries:

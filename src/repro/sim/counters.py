@@ -1,61 +1,101 @@
-"""Lightweight perf counters for the scene-evaluation core.
+"""Legacy perf-counter facade over :mod:`repro.telemetry` (deprecated).
 
-A single process-wide :class:`PerfCounters` instance (:data:`COUNTERS`)
-is incremented by the ray-path cache, the vectorized gain kernels, and
-the batched link sweeps.  Experiments reset it at the start of a run
-and attach a snapshot to their :class:`~repro.experiments.harness.
-ExperimentReport`, making the cache hit rate and kernel batch sizes —
-i.e. the *reason* a run is fast or slow — part of every report.
+The process-wide ``COUNTERS`` object predates the telemetry subsystem.
+It survives as a *shim*: attribute reads, ``+=`` updates, ``reset()``
+and ``snapshot()`` all act on the **innermost active telemetry
+scope's** metrics registry, under the dotted metric names the
+instrumented code now records directly:
 
-The counters are plain integer adds with no locking: they are meant
-for observability, not for exact accounting under free threading.
+==========================  ============================
+legacy attribute            registry metric
+==========================  ============================
+``tracer_calls``            ``scene.tracer_calls``
+``cache_hits``              ``scene.cache.hits``
+``cache_misses``            ``scene.cache.misses``
+``cache_invalidations``     ``scene.cache.invalidations``
+``kernel_batches``          ``kernel.batches``
+``kernel_angles``           ``kernel.angles``
+``link_sweeps``             ``link.sweeps``
+==========================  ============================
+
+Because the shim follows the scope stack, ``COUNTERS.reset()`` inside
+a nested experiment clears only that experiment's own registry — the
+bug where a sub-experiment zeroed its caller's counters is gone.
+
+New code should use :func:`repro.telemetry.inc` /
+:func:`repro.telemetry.metrics` directly; see
+``docs/observability.md``.  This module will be removed once nothing
+imports it (deprecation path documented in ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
 from typing import Dict
 
+from repro.telemetry import metrics
 
-@dataclass
+#: Legacy attribute name -> registry metric name.
+LEGACY_COUNTER_METRICS: Dict[str, str] = {
+    "tracer_calls": "scene.tracer_calls",
+    "cache_hits": "scene.cache.hits",
+    "cache_misses": "scene.cache.misses",
+    "cache_invalidations": "scene.cache.invalidations",
+    "kernel_batches": "kernel.batches",
+    "kernel_angles": "kernel.angles",
+    "link_sweeps": "link.sweeps",
+}
+
+
 class PerfCounters:
-    """Counts of the hot-path operations behind one experiment run."""
+    """Attribute-style view of the active scope's scene/kernel counters."""
 
-    #: Actual :class:`RayTracer` invocations (cache misses included).
-    tracer_calls: int = 0
-    #: Path-set queries answered from the :class:`SceneCache`.
-    cache_hits: int = 0
-    #: Path-set queries that had to trace.
-    cache_misses: int = 0
-    #: Explicit cache invalidations (pose/occluder change notices).
-    cache_invalidations: int = 0
-    #: Vectorized gain-kernel invocations.
-    kernel_batches: int = 0
-    #: Total angles evaluated across all kernel batches.
-    kernel_angles: int = 0
-    #: Batched link sweeps (``LinkBudget.sweep``/``sweep_pairs``).
-    link_sweeps: int = 0
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> int:
+        metric = LEGACY_COUNTER_METRICS.get(name)
+        if metric is None:
+            raise AttributeError(f"PerfCounters has no counter {name!r}")
+        return metrics().counter_value(metric)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        metric = LEGACY_COUNTER_METRICS.get(name)
+        if metric is None:
+            raise AttributeError(f"PerfCounters has no counter {name!r}")
+        metrics().counter(metric).value = int(value)  # type: ignore[arg-type]
 
     def reset(self) -> None:
-        """Zero every counter (start of an experiment run)."""
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        """Clear the innermost scope's registry (start of a run).
+
+        Under the scoped registry this can no longer clobber an
+        enclosing experiment: only the current scope is cleared.
+        """
+        metrics().reset()
 
     def snapshot(self) -> Dict[str, int]:
-        """A plain-dict copy, ready for a report or JSON."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """The legacy seven-counter dict, read from the active scope."""
+        registry = metrics()
+        return {
+            legacy: registry.counter_value(metric)
+            for legacy, metric in LEGACY_COUNTER_METRICS.items()
+        }
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of path-set queries served without tracing."""
-        queries = self.cache_hits + self.cache_misses
-        return self.cache_hits / queries if queries else 0.0
+        registry = metrics()
+        hits = registry.counter_value("scene.cache.hits")
+        misses = registry.counter_value("scene.cache.misses")
+        queries = hits + misses
+        return hits / queries if queries else 0.0
 
     @property
     def mean_kernel_batch(self) -> float:
         """Average angles per vectorized kernel call."""
-        return self.kernel_angles / self.kernel_batches if self.kernel_batches else 0.0
+        registry = metrics()
+        batches = registry.counter_value("kernel.batches")
+        angles = registry.counter_value("kernel.angles")
+        return angles / batches if batches else 0.0
 
 
-#: The process-wide counter instance.
+#: The process-wide facade instance (reads whatever scope is active).
 COUNTERS = PerfCounters()

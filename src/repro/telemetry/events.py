@@ -1,0 +1,73 @@
+"""Typed control-plane events.
+
+The paper's evaluation is a story about *decisions*: blockage drops
+the direct SNR (§3), the AP hands off to a reflector (§5.2), the gain
+controller backs off at the saturation-current knee (§4.2), the rate
+adapter follows the SNR.  :class:`ControlEvent` makes each of those
+moments a first-class record — kind, timestamp, and the link state
+that triggered it — instead of a free-form ``report.note(...)``
+breadcrumb.
+
+Events are emitted through :func:`repro.telemetry.emit` into the
+active telemetry scope; experiment reports surface them under an
+``events`` section and the CLI can dump the full log with
+``--events``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class EventKind(str, enum.Enum):
+    """Every control-plane transition the system can report."""
+
+    #: Direct-path SNR fell below the handoff threshold.
+    BLOCKAGE_DETECTED = "blockage_detected"
+    #: Direct-path SNR recovered above the handoff threshold.
+    BLOCKAGE_CLEARED = "blockage_cleared"
+    #: The serving path changed (AP<->reflector, or reflector A->B).
+    HANDOFF = "handoff"
+    #: The current-sensing gain controller tripped on the saturation
+    #: knee and backed the amplifier gain off.
+    GAIN_BACKOFF = "gain_backoff"
+    #: No path can carry data.
+    OUTAGE_BEGIN = "outage_begin"
+    #: Connectivity restored after an outage.
+    OUTAGE_END = "outage_end"
+    #: The rate adapter changed its MCS.
+    RATE_CHANGE = "rate_change"
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One control-plane transition.
+
+    ``t_s`` is the emitting clock's time (simulation seconds in the
+    discrete-event experiments, ``None`` where no clock exists, e.g. a
+    one-shot calibration).  ``fields`` carries the link state at the
+    transition: SNRs, serving path, gains, rates.
+    """
+
+    kind: EventKind
+    t_s: Optional[float] = None
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind.value, "t_s": self.t_s, **dict(self.fields)}
+
+    def __str__(self) -> str:
+        when = "t=?" if self.t_s is None else f"t={self.t_s:.3f}s"
+        detail = " ".join(f"{k}={_fmt(v)}" for k, v in self.fields.items())
+        return f"[{when}] {self.kind.value}" + (f" {detail}" if detail else "")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+__all__ = ["EventKind", "ControlEvent"]

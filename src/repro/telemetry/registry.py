@@ -1,0 +1,123 @@
+"""The metrics registry: named instruments, snapshots, and merging.
+
+One :class:`MetricsRegistry` belongs to each telemetry scope (see
+:mod:`repro.telemetry.scopes`).  Instruments are created lazily on
+first use, so call sites never need to pre-declare what they measure:
+
+    telemetry.inc("scene.cache.hits")
+    telemetry.observe("link.sweep_ms", elapsed_ms)
+
+Metric names are dotted paths; the convention is
+``<subsystem>.<thing>[.<aspect>]`` (``scene.tracer_calls``,
+``kernel.angles``, ``angle_search.sweep_ms``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.telemetry.instruments import (
+    DEFAULT_MAX_SAMPLES,
+    Counter,
+    Gauge,
+    Histogram,
+)
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (get-or-create) -------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, max_samples=max_samples)
+        return instrument
+
+    # -- recording conveniences ------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        # Inlined get-or-create: this is the hottest telemetry call
+        # (per kernel batch), so avoid the extra method dispatch.
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        instrument.value += amount
+
+    def observe(self, name: str, value: float) -> None:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        instrument.record(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # -- reading ---------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready dump of every instrument in this registry."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: g.value for n, g in sorted(self._gauges.items()) if g.updated
+            },
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (start of a fresh measurement window)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- combination ------------------------------------------------------
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s measurements into this registry.
+
+        Counters add, histograms merge, gauges take ``other``'s value
+        when it was actually set (last writer wins).  Used when a
+        nested telemetry scope exits: the parent absorbs the child's
+        activity without the child ever being able to zero the parent.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            if gauge.updated:
+                self.gauge(name).set(gauge.value)
+        for name, hist in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = hist.merge(
+                    Histogram(name, max_samples=hist.max_samples)
+                )
+            else:
+                self._histograms[name] = mine.merge(hist)
+
+
+__all__ = ["MetricsRegistry"]

@@ -38,3 +38,66 @@ class TestRun:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPerExperimentPath:
+    def test_extension_is_suffixed_on_basename(self):
+        from repro.cli import _per_experiment_path
+
+        assert _per_experiment_path("report.json", "fig9") == "report-fig9.json"
+
+    def test_dotted_directory_is_not_mistaken_for_extension(self):
+        from repro.cli import _per_experiment_path
+
+        assert _per_experiment_path("out.d/report", "fig9") == "out.d/report-fig9"
+
+    def test_dotted_directory_with_extension(self):
+        from repro.cli import _per_experiment_path
+
+        assert (
+            _per_experiment_path("out.d/report.json", "fig9")
+            == "out.d/report-fig9.json"
+        )
+
+    def test_bare_name_gets_plain_suffix(self):
+        from repro.cli import _per_experiment_path
+
+        assert _per_experiment_path("report", "fig7") == "report-fig7"
+
+
+class TestTelemetryFlags:
+    def test_metrics_and_trace_outputs(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig8",
+                    "--seed",
+                    "3",
+                    "--metrics",
+                    str(metrics_path),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["kernel.batches"] > 0
+        assert metrics["counters"]["angle_search.probes"] > 0
+        assert metrics["histograms"]["angle_search.sweep_ms"]["count"] > 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "fig8" in names
+        assert all(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_events_flag_prints_full_log(self, capsys):
+        assert main(["run", "ext-e2e", "--seed", "7", "--events"]) == 0
+        out = capsys.readouterr().out
+        assert "control events" in out
+        assert "more events" not in out

@@ -1,0 +1,45 @@
+"""Typed control-plane events."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry.events import ControlEvent, EventKind
+
+
+class TestControlEvent:
+    def test_to_dict_flattens_fields(self):
+        event = ControlEvent(
+            kind=EventKind.HANDOFF, t_s=1.5, fields={"via": "movr0", "snr_db": 27.0}
+        )
+        d = event.to_dict()
+        assert d == {"kind": "handoff", "t_s": 1.5, "via": "movr0", "snr_db": 27.0}
+        json.dumps(d)
+
+    def test_str_is_readable(self):
+        event = ControlEvent(kind=EventKind.GAIN_BACKOFF, t_s=None, fields={"steps": 3})
+        text = str(event)
+        assert "gain_backoff" in text
+        assert "steps=3" in text
+
+    def test_kinds_cover_the_control_plane(self):
+        values = {k.value for k in EventKind}
+        assert {
+            "blockage_detected",
+            "blockage_cleared",
+            "handoff",
+            "gain_backoff",
+            "outage_begin",
+            "outage_end",
+            "rate_change",
+        } <= values
+
+
+class TestEmit:
+    def test_emit_appends_and_counts(self):
+        with telemetry.scope("s") as sc:
+            event = telemetry.emit(
+                telemetry.EventKind.BLOCKAGE_DETECTED, t_s=2.0, direct_snr_db=9.0
+            )
+            assert sc.events == [event]
+            assert sc.registry.counter_value("events.blockage_detected") == 1
+            assert event.to_dict()["direct_snr_db"] == 9.0

@@ -1,0 +1,106 @@
+"""Scope nesting: isolation on entry, propagation on exit."""
+
+from repro import telemetry
+from repro.sim.counters import COUNTERS
+
+
+class TestIsolation:
+    def test_child_starts_empty(self):
+        with telemetry.scope("outer"):
+            telemetry.inc("x", 5)
+            with telemetry.scope("inner") as inner:
+                assert inner.registry.counter_value("x") == 0
+                assert telemetry.metrics().counter_value("x") == 0
+
+    def test_child_cannot_zero_parent(self):
+        with telemetry.scope("outer") as outer:
+            telemetry.inc("x", 5)
+            with telemetry.scope("inner"):
+                telemetry.metrics().reset()
+                telemetry.inc("x", 2)
+            assert outer.registry.counter_value("x") == 7
+
+    def test_counters_shim_reset_is_scoped(self):
+        with telemetry.scope("outer") as outer:
+            COUNTERS.cache_hits += 5
+            with telemetry.scope("inner"):
+                COUNTERS.reset()
+                COUNTERS.cache_hits += 1
+                assert COUNTERS.cache_hits == 1
+            assert outer.registry.counter_value("scene.cache.hits") == 6
+
+
+class TestPropagation:
+    def test_counters_add_up(self):
+        with telemetry.scope("outer") as outer:
+            telemetry.inc("x", 1)
+            with telemetry.scope("inner"):
+                telemetry.inc("x", 10)
+                telemetry.inc("y", 3)
+            assert outer.registry.counter_value("x") == 11
+            assert outer.registry.counter_value("y") == 3
+
+    def test_histograms_fold_into_parent(self):
+        with telemetry.scope("outer") as outer:
+            telemetry.observe("lat_ms", 1.0)
+            with telemetry.scope("inner"):
+                telemetry.observe("lat_ms", 3.0)
+            h = outer.registry.histogram("lat_ms")
+            assert h.count == 2
+            assert sorted(h.samples) == [1.0, 3.0]
+
+    def test_gauges_last_writer_wins(self):
+        with telemetry.scope("outer") as outer:
+            telemetry.set_gauge("g", 1.0)
+            with telemetry.scope("inner"):
+                telemetry.set_gauge("g", 9.0)
+            assert outer.registry.gauge("g").value == 9.0
+
+    def test_events_append_to_parent(self):
+        with telemetry.scope("outer") as outer:
+            telemetry.emit(telemetry.EventKind.HANDOFF, t_s=1.0, via="movr0")
+            with telemetry.scope("inner"):
+                telemetry.emit(telemetry.EventKind.OUTAGE_BEGIN, t_s=2.0)
+            assert [e.kind for e in outer.events] == [
+                telemetry.EventKind.HANDOFF,
+                telemetry.EventKind.OUTAGE_BEGIN,
+            ]
+            assert outer.registry.counter_value("events.handoff") == 1
+            assert outer.registry.counter_value("events.outage_begin") == 1
+
+    def test_child_spans_graft_under_open_parent_span(self):
+        with telemetry.scope("outer") as outer:
+            with telemetry.span("parent-op"):
+                with telemetry.scope("inner"):
+                    with telemetry.span("child-op"):
+                        pass
+            assert [s.name for s in outer.tracer.roots] == ["parent-op"]
+            assert [s.name for s in outer.tracer.roots[0].children] == ["child-op"]
+
+    def test_scope_pops_even_on_exception(self):
+        before = telemetry.current_scope()
+        try:
+            with telemetry.scope("oops"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert telemetry.current_scope() is before
+
+
+class TestShimMapping:
+    def test_legacy_names_alias_dotted_metrics(self):
+        with telemetry.scope("s"):
+            COUNTERS.tracer_calls += 2
+            COUNTERS.kernel_batches += 1
+            COUNTERS.kernel_angles += 8
+            assert telemetry.metrics().counter_value("scene.tracer_calls") == 2
+            snap = COUNTERS.snapshot()
+            assert snap["tracer_calls"] == 2
+            assert snap["kernel_batches"] == 1
+            assert COUNTERS.mean_kernel_batch == 8.0
+
+    def test_cache_hit_rate(self):
+        with telemetry.scope("s"):
+            COUNTERS.cache_hits += 3
+            COUNTERS.cache_misses += 1
+            assert COUNTERS.cache_hit_rate == 0.75
