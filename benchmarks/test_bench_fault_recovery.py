@@ -1,0 +1,12 @@
+"""Benchmark: control-plane fault recovery under swept fault intensity."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_fault_recovery
+
+
+def test_bench_fault_recovery(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fault_recovery(seed=2016), rounds=1, iterations=1
+    )
+    report_and_assert(report)

@@ -1,6 +1,8 @@
-"""Control plane: BLE link, MoVR protocol, airtime scheduling."""
+"""Control plane: BLE link, MoVR protocol, faults/recovery, airtime
+scheduling."""
 
 from repro.control.bluetooth import BleConfig, BleLink
+from repro.control.faults import FaultKind, FaultSchedule, FaultWindow
 from repro.control.protocol import (
     MESSAGE_BYTES,
     ControlLog,
@@ -9,6 +11,7 @@ from repro.control.protocol import (
     MessageType,
     ReflectorCoordinator,
 )
+from repro.control.recovery import RecoveryEpisode, RetryPolicy, downtime_cdf
 from repro.control.scheduler import (
     AirtimeScheduler,
     SearchImpact,
@@ -18,6 +21,12 @@ from repro.control.scheduler import (
 __all__ = [
     "BleConfig",
     "BleLink",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultWindow",
+    "RecoveryEpisode",
+    "RetryPolicy",
+    "downtime_cdf",
     "MESSAGE_BYTES",
     "ControlLog",
     "ControlMessage",

@@ -97,6 +97,11 @@ class MoVRSystem:
         self._last_mode: Optional[str] = None
         self._last_via: Optional[str] = None
         self._blockage_active = False
+        # Reflectors whose BLE control plane is currently down: the AP
+        # cannot push beam updates to them, so they are excluded from
+        # handoff until the coordinator reports recovery.
+        self._control_down: Dict[str, Optional[float]] = {}
+        self._degraded_emitted = False
 
     # ------------------------------------------------------------------
     # Calibration
@@ -255,15 +260,74 @@ class MoVRSystem:
         headset_radio: Radio,
         extra_occluders: Sequence[Occluder] = (),
     ) -> Optional[RelayMeasurement]:
-        """The serving reflector candidate with the highest SNR."""
+        """The serving reflector candidate with the highest SNR.
+
+        Reflectors whose control plane is down are not candidates: the
+        AP cannot steer them, so handing off to one would serve the
+        headset with stale beams.  They rejoin automatically when
+        :meth:`mark_control_recovered` is called.
+        """
         candidates = [
             self.relay_link(r, headset_radio, extra_occluders)
             for r in self.reflectors
-            if r.can_serve(self.ap.position, headset_radio.position)
+            if r.name not in self._control_down
+            and r.can_serve(self.ap.position, headset_radio.position)
         ]
         if not candidates:
             return None
         return max(candidates, key=lambda m: m.end_to_end_snr_db)
+
+    # ------------------------------------------------------------------
+    # Control-plane availability (graceful degradation)
+    # ------------------------------------------------------------------
+
+    @property
+    def control_down(self) -> frozenset:
+        """Names of reflectors currently excluded from handoff."""
+        return frozenset(self._control_down)
+
+    def mark_control_lost(self, reflector_name: str, t_s: Optional[float] = None) -> None:
+        """Exclude a reflector from handoff: its control plane is dark.
+
+        Idempotent; unknown names are rejected.  The ``control_lost``
+        event itself is emitted by the coordinator that detected the
+        loss — this is the data-plane reaction.
+        """
+        self._require_reflector(reflector_name)
+        if reflector_name in self._control_down:
+            return
+        self._control_down[reflector_name] = t_s
+        telemetry.inc("controller.control_lost")
+
+    def mark_control_recovered(
+        self, reflector_name: str, t_s: Optional[float] = None
+    ) -> None:
+        """Re-admit a reflector whose control plane recovered."""
+        self._require_reflector(reflector_name)
+        if reflector_name not in self._control_down:
+            return
+        del self._control_down[reflector_name]
+        telemetry.inc("controller.control_recovered")
+        if not self._control_down:
+            # Fully healed: the next degraded episode is a new event.
+            self._degraded_emitted = False
+
+    def attach_coordinator(self, coordinator) -> None:
+        """Wire a :class:`ReflectorCoordinator`'s loss/recovery
+        callbacks to this system's handoff exclusion set."""
+        name = coordinator.reflector.name
+        self._require_reflector(name)
+        coordinator.on_control_lost = lambda t_s: self.mark_control_lost(name, t_s)
+        coordinator.on_control_recovered = lambda t_s: self.mark_control_recovered(
+            name, t_s
+        )
+
+    def _require_reflector(self, reflector_name: str) -> None:
+        if all(r.name != reflector_name for r in self.reflectors):
+            known = ", ".join(r.name for r in self.reflectors)
+            raise ValueError(
+                f"unknown reflector {reflector_name!r}; known: {known}"
+            )
 
     def decide(
         self,
@@ -331,9 +395,25 @@ class MoVRSystem:
         self._last_mode = None
         self._last_via = None
         self._blockage_active = False
+        # Control-plane availability is infrastructure state and
+        # survives a session reset, but the next degraded decision
+        # should announce itself again.
+        self._degraded_emitted = False
 
     def _emit_transitions(self, decision: LinkDecision, t_s: Optional[float]) -> None:
         """Emit typed events for every state change this decision made."""
+        if self._control_down and decision.connected and not self._degraded_emitted:
+            # Serving with a shrunken candidate set: flag it once per
+            # degraded episode so reports show the exposure window.
+            telemetry.emit(
+                telemetry.EventKind.DEGRADED_SERVING,
+                t_s=t_s,
+                down=sorted(self._control_down),
+                mode=decision.mode,
+                via=decision.via,
+                snr_db=decision.snr_db,
+            )
+            self._degraded_emitted = True
         blocked = decision.direct_snr_db < self.handoff_snr_db
         if blocked and not self._blockage_active:
             telemetry.emit(

@@ -13,6 +13,7 @@ from repro.experiments.ablation_gain import run_ablation_gain
 from repro.experiments.ablation_search import run_ablation_search
 from repro.experiments.comparison import run_comparison
 from repro.experiments.e2e_session import run_e2e_session
+from repro.experiments.fault_recovery import run_fault_recovery
 from repro.experiments.fig3_blockage import run_fig3
 from repro.experiments.fig7_leakage import run_fig7
 from repro.experiments.fig8_alignment import run_fig8
@@ -51,6 +52,7 @@ ALL_EXPERIMENTS = {
     "ext-apartment": run_apartment,
     "ext-prediction": run_prediction_horizon,
     "ext-search-airtime": run_search_airtime,
+    "ext-fault-recovery": run_fault_recovery,
     "ablation-search": run_ablation_search,
     "comparison": run_comparison,
 }
@@ -66,6 +68,7 @@ __all__ = [
     "run_rate_vs_distance",
     "run_latency_budget",
     "run_search_airtime",
+    "run_fault_recovery",
     "run_ablation_search",
     "run_comparison",
     "run_e2e_session",

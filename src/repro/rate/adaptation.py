@@ -96,11 +96,39 @@ class RateAdapter:
             snr_db=snr_db,
         )
 
-    def run(self, snr_series_db: Sequence[float]) -> List[float]:
-        """Run over a whole SNR trace; returns the per-step rate in Mbps."""
+    def run(
+        self,
+        snr_series_db: Sequence[float],
+        times_s: Optional[Sequence[float]] = None,
+        *,
+        t0_s: float = 0.0,
+        dt_s: Optional[float] = None,
+    ) -> List[float]:
+        """Run over a whole SNR trace; returns the per-step rate in Mbps.
+
+        Trace-driven runs should supply a time base so the
+        ``rate_change`` events are stamped with the trace clock rather
+        than ``None``: either ``times_s`` (one timestamp per sample)
+        or a uniform ``dt_s`` step starting at ``t0_s``.
+        """
+        if times_s is not None and dt_s is not None:
+            raise ValueError("pass either times_s or dt_s, not both")
+        if times_s is not None and len(times_s) != len(snr_series_db):
+            raise ValueError(
+                f"times_s has {len(times_s)} entries for "
+                f"{len(snr_series_db)} SNR samples"
+            )
+        if dt_s is not None:
+            require_non_negative(dt_s, "dt_s")
         rates = []
-        for snr in snr_series_db:
-            self.observe(snr)
+        for i, snr in enumerate(snr_series_db):
+            if times_s is not None:
+                t: Optional[float] = float(times_s[i])
+            elif dt_s is not None:
+                t = t0_s + i * dt_s
+            else:
+                t = None
+            self.observe(snr, t_s=t)
             rates.append(self.current_rate_mbps)
         return rates
 
@@ -113,15 +141,24 @@ def outage_fraction(
     snr_series_db: Sequence[float],
     required_rate_mbps: float,
     adapter: Optional[RateAdapter] = None,
+    times_s: Optional[Sequence[float]] = None,
+    *,
+    t0_s: float = 0.0,
+    dt_s: Optional[float] = None,
 ) -> float:
     """Fraction of observations where the adapted rate misses the VR
-    requirement — the glitch metric of the end-to-end experiments."""
+    requirement — the glitch metric of the end-to-end experiments.
+
+    ``times_s`` / ``t0_s`` + ``dt_s`` thread a trace time base through
+    to the adapter so emitted ``rate_change`` events carry timestamps
+    (see :meth:`RateAdapter.run`).
+    """
     if not snr_series_db:
         raise ValueError("empty SNR series")
     if required_rate_mbps <= 0.0:
         raise ValueError("required_rate_mbps must be positive")
     adapter = adapter if adapter is not None else RateAdapter()
     adapter.reset()
-    rates = adapter.run(snr_series_db)
+    rates = adapter.run(snr_series_db, times_s, t0_s=t0_s, dt_s=dt_s)
     misses = sum(1 for r in rates if r < required_rate_mbps)
     return misses / len(rates)

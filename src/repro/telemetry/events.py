@@ -39,6 +39,15 @@ class EventKind(str, enum.Enum):
     OUTAGE_END = "outage_end"
     #: The rate adapter changed its MCS.
     RATE_CHANGE = "rate_change"
+    #: A reflector's BLE control plane dropped (retransmission budget
+    #: exhausted); the coordinator is trying to reconnect.
+    CONTROL_LOST = "control_lost"
+    #: The BLE control plane was re-established; carries the downtime
+    #: (recovery latency) and the reconnect attempt count.
+    CONTROL_RECOVERED = "control_recovered"
+    #: The system is serving while at least one reflector is excluded
+    #: from handoff because its control plane is down.
+    DEGRADED_SERVING = "degraded_serving"
 
 
 @dataclass(frozen=True)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.control.bluetooth import BleConfig, BleLink
 
@@ -83,3 +85,52 @@ class TestDelivery:
         link.delivery_time_s(0.0)
         link.delivery_time_s(1.0)
         assert link.messages_sent == 2
+
+
+class TestConnectionEventBoundary:
+    """The ceil-boundary bug: a send time an ulp above a connection-
+    event boundary must not be charged a spurious full interval."""
+
+    def test_accumulated_float_adds_stay_on_boundary(self):
+        cfg = BleConfig(loss_rate=0.0, jitter_s=0.0)
+        link = BleLink(cfg, rng=0)
+        interval = cfg.connection_interval_s
+        # 0.0075 is not exactly representable; summing it drifts off
+        # the mathematical boundary by a few ulps.
+        t = 0.0
+        for _ in range(1000):
+            t += interval
+        arrival = link.delivery_time_s(t)
+        assert arrival == pytest.approx(1001 * interval, abs=1e-9)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        k=st.integers(min_value=0, max_value=200_000),
+        steps=st.integers(min_value=1, max_value=64),
+    )
+    def test_boundary_send_charges_exactly_one_interval(self, k, steps):
+        """A send time that mathematically equals boundary ``k`` —
+        however it was accumulated — delivers at boundary ``k + 1``."""
+        cfg = BleConfig(loss_rate=0.0, jitter_s=0.0)
+        link = BleLink(cfg, rng=0)
+        interval = cfg.connection_interval_s
+        # Reach k*interval via `steps` equal float additions, the way
+        # simulation clocks actually accumulate time.
+        chunk = k * interval / steps
+        t = 0.0
+        for _ in range(steps):
+            t += chunk
+        arrival = link.delivery_time_s(t)
+        assert arrival == pytest.approx((k + 1) * interval, abs=1e-8)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        k=st.integers(min_value=0, max_value=200_000),
+        frac=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_off_boundary_send_waits_for_next_event(self, k, frac):
+        cfg = BleConfig(loss_rate=0.0, jitter_s=0.0)
+        link = BleLink(cfg, rng=0)
+        interval = cfg.connection_interval_s
+        arrival = link.delivery_time_s((k + frac) * interval)
+        assert arrival == pytest.approx((k + 2) * interval, abs=1e-8)

@@ -58,6 +58,49 @@ class TestAngleSearch:
         assert counts[MessageType.MODULATE_OFF] == 1
         assert counts[MessageType.SET_BEAMS] == len(codebook)
 
+    def test_one_ack_charged_per_codebook_entry(self):
+        # The docstring promises one SET_BEAMS + ACK round per entry;
+        # the ACK airtime must show up in the accounting.
+        coordinator = make_coordinator()
+        codebook = Codebook.uniform(40.0, 140.0, 10.0)
+        coordinator.run_angle_search(planted_metric(90.0), codebook=codebook)
+        counts = coordinator.log.count_by_type()
+        assert counts[MessageType.ACK] == len(codebook)
+        # Each entry costs at least two connection intervals now.
+        assert coordinator.elapsed_s >= 2 * len(codebook) * 0.0075
+
+    def test_empty_codebook_raises_value_error(self):
+        coordinator = make_coordinator()
+        with pytest.raises(ValueError, match="non-empty codebook"):
+            coordinator.run_angle_search(planted_metric(90.0), codebook=())
+        # No messages were charged for the rejected sweep.
+        assert coordinator.log.message_count == 0
+
+    def test_modulate_off_charged_on_mid_sweep_failure(self):
+        # Without a retry policy the failure is terminal, but the off
+        # command must still be attempted (or its loss recorded) so
+        # the amplifier is not silently left toggling.  A link-down
+        # window opening after MODULATE_ON makes the mid-sweep failure
+        # deterministic.
+        from repro.control.faults import FaultKind, FaultSchedule, FaultWindow
+
+        reflector = MoVRReflector(Vec2(4.7, 4.7), boresight_deg=-135.0)
+        faults = FaultSchedule(
+            [FaultWindow(start_s=0.1, end_s=100.0, kind=FaultKind.LINK_DOWN)]
+        )
+        link = BleLink(
+            BleConfig(loss_rate=0.0, jitter_s=0.0), rng=0, faults=faults
+        )
+        coordinator = ReflectorCoordinator(reflector, link)
+        with pytest.raises(ConnectionError):
+            coordinator.run_angle_search(
+                planted_metric(90.0), codebook=Codebook.uniform(40.0, 140.0, 1.0)
+            )
+        counts = coordinator.log.count_by_type()
+        assert counts[MessageType.MODULATE_ON] == 1
+        delivered_off = counts.get(MessageType.MODULATE_OFF, 0) == 1
+        assert delivered_off or coordinator.modulation_stuck
+
     def test_time_dominated_by_ble(self):
         coordinator = make_coordinator()
         codebook = Codebook.uniform(40.0, 140.0, 2.0)

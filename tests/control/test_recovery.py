@@ -1,0 +1,224 @@
+"""Tests for the control-plane retry policy and coordinator recovery.
+
+The acceptance contract of the fault-recovery layer: a mid-sweep BLE
+outage shorter than the retry budget is survived — the coordinator
+reconnects with exponential backoff, resumes the angle sweep from the
+last acknowledged codebook entry (never restarting), restores the
+amplifier's modulation state, and ends up SERVING.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.control.bluetooth import BleConfig, BleLink
+from repro.control.faults import FaultKind, FaultSchedule, FaultWindow
+from repro.control.protocol import (
+    CoordinatorState,
+    MessageType,
+    ReflectorCoordinator,
+)
+from repro.control.recovery import RecoveryEpisode, RetryPolicy, downtime_cdf
+from repro.core.reflector import MoVRReflector
+from repro.geometry.vectors import Vec2
+from repro.link.beams import Codebook
+
+
+def planted_metric(peak_deg):
+    return lambda angle: -abs(angle - peak_deg)
+
+
+def make_coordinator(faults=None, policy=None, loss_rate=0.0, rng=0):
+    reflector = MoVRReflector(Vec2(4.7, 4.7), boresight_deg=-135.0)
+    link = BleLink(
+        BleConfig(loss_rate=loss_rate, jitter_s=0.0), rng=rng, faults=faults
+    )
+    return ReflectorCoordinator(reflector, link, policy=policy)
+
+
+def mid_sweep_outage(duration_s=0.2, start_s=0.2):
+    return FaultSchedule(
+        [
+            FaultWindow(
+                start_s=start_s,
+                end_s=start_s + duration_s,
+                kind=FaultKind.LINK_DOWN,
+            )
+        ]
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(
+            initial_backoff_s=0.1, backoff_factor=2.0, max_backoff_s=0.5
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+        assert policy.backoff_s(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_reconnect_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(initial_backoff_s=0.5, max_backoff_s=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+    def test_worst_case_wait(self):
+        policy = RetryPolicy(
+            max_reconnect_attempts=3,
+            initial_backoff_s=0.1,
+            backoff_factor=2.0,
+            max_backoff_s=1.0,
+        )
+        assert policy.worst_case_wait_s == pytest.approx(0.1 + 0.2 + 0.4)
+
+
+class TestRecoveryEpisode:
+    def test_downtime_and_validation(self):
+        episode = RecoveryEpisode(lost_t_s=1.0, recovered_t_s=1.5, attempts=2)
+        assert episode.downtime_s == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            RecoveryEpisode(lost_t_s=2.0, recovered_t_s=1.0, attempts=1)
+        with pytest.raises(ValueError):
+            RecoveryEpisode(lost_t_s=0.0, recovered_t_s=1.0, attempts=0)
+
+    def test_downtime_cdf_sorted(self):
+        episodes = [
+            RecoveryEpisode(0.0, 1.0, 1),
+            RecoveryEpisode(5.0, 5.2, 1),
+            RecoveryEpisode(9.0, 9.5, 2),
+        ]
+        assert downtime_cdf(episodes) == pytest.approx([0.2, 0.5, 1.0])
+
+
+class TestSweepRecovery:
+    def test_mid_sweep_outage_recovers_and_resumes(self):
+        codebook = Codebook.uniform(40.0, 140.0, 2.0)
+        coordinator = make_coordinator(
+            faults=mid_sweep_outage(), policy=RetryPolicy()
+        )
+        with telemetry.scope("t") as sc:
+            estimate = coordinator.run_angle_search(
+                planted_metric(72.0), codebook=codebook
+            )
+        assert estimate == pytest.approx(72.0)
+        assert len(coordinator.recoveries) >= 1
+        # Resume, not restart: at most one extra SET_BEAMS per recovery
+        # (the in-flight command is retransmitted after reconnect).
+        counts = coordinator.log.count_by_type()
+        assert counts[MessageType.SET_BEAMS] <= len(codebook) + 2 * len(
+            coordinator.recoveries
+        )
+        assert counts[MessageType.ACK] >= len(codebook)
+        assert counts[MessageType.MODULATE_OFF] == 1
+        assert not coordinator.modulating
+        assert not coordinator.modulation_stuck
+        kinds = [e.kind for e in sc.events]
+        assert telemetry.EventKind.CONTROL_LOST in kinds
+        assert telemetry.EventKind.CONTROL_RECOVERED in kinds
+
+    def test_reaches_serving_after_recovered_sweep(self):
+        coordinator = make_coordinator(
+            faults=mid_sweep_outage(), policy=RetryPolicy()
+        )
+        coordinator.run_angle_search(
+            planted_metric(72.0), codebook=Codebook.uniform(40.0, 140.0, 2.0)
+        )
+        coordinator.run_gain_calibration(input_power_dbm=-45.0)
+        assert coordinator.state is CoordinatorState.SERVING
+        assert len(coordinator.recoveries) >= 1
+
+    def test_recovery_latency_accounts_backoff_and_detection(self):
+        policy = RetryPolicy(
+            initial_backoff_s=0.05, backoff_factor=2.0, max_backoff_s=1.0
+        )
+        coordinator = make_coordinator(
+            faults=mid_sweep_outage(duration_s=0.3), policy=policy
+        )
+        coordinator.run_angle_search(
+            planted_metric(72.0), codebook=Codebook.uniform(40.0, 140.0, 2.0)
+        )
+        for episode in coordinator.recoveries:
+            assert episode.downtime_s > 0.0
+            # Bounded by the policy's total backoff plus the handshake.
+            assert (
+                episode.downtime_s
+                <= policy.worst_case_wait_s
+                + coordinator.link.config.reconnect_setup_s
+            )
+
+    def test_outage_longer_than_budget_fails(self):
+        policy = RetryPolicy(
+            max_reconnect_attempts=2, initial_backoff_s=0.01, max_backoff_s=0.02
+        )
+        # Down for 10 s: 2 attempts x ~30 ms can never bridge it.
+        coordinator = make_coordinator(
+            faults=mid_sweep_outage(duration_s=10.0), policy=policy
+        )
+        with pytest.raises(ConnectionError):
+            coordinator.run_angle_search(
+                planted_metric(72.0), codebook=Codebook.uniform(40.0, 140.0, 2.0)
+            )
+        assert coordinator.state is CoordinatorState.FAILED
+        # The off command could not be delivered: the leak is recorded,
+        # not silently ignored.
+        assert coordinator.modulation_stuck
+
+    def test_no_policy_keeps_fail_stop_behavior(self):
+        coordinator = make_coordinator(faults=mid_sweep_outage(duration_s=10.0))
+        with pytest.raises(ConnectionError):
+            coordinator.run_angle_search(
+                planted_metric(72.0), codebook=Codebook.uniform(40.0, 140.0, 2.0)
+            )
+        assert coordinator.state is CoordinatorState.FAILED
+        assert coordinator.modulation_stuck
+
+    def test_steady_state_push_recovers(self):
+        # Outage begins after installation completes.
+        faults = mid_sweep_outage(duration_s=0.2, start_s=3.0)
+        coordinator = make_coordinator(faults=faults, policy=RetryPolicy())
+        coordinator.run_angle_search(
+            planted_metric(72.0), codebook=Codebook.uniform(40.0, 140.0, 5.0)
+        )
+        coordinator.run_gain_calibration(input_power_dbm=-45.0)
+        assert coordinator.state is CoordinatorState.SERVING
+        for _ in range(400):
+            coordinator.push_beam_update()
+        assert coordinator.state is CoordinatorState.SERVING
+        assert len(coordinator.recoveries) >= 1
+
+    def test_stuck_reflector_degrades_estimate(self):
+        # Reflector wedged for the whole sweep: every measurement sees
+        # the first applied angle, so the estimate cannot localize the
+        # true peak (except by coincidence at the first entry).
+        stuck = FaultSchedule(
+            [
+                FaultWindow(
+                    start_s=0.05, end_s=100.0, kind=FaultKind.STUCK_REFLECTOR
+                )
+            ]
+        )
+        coordinator = make_coordinator(faults=stuck, policy=RetryPolicy())
+        estimate = coordinator.run_angle_search(
+            planted_metric(100.0), codebook=Codebook.uniform(40.0, 140.0, 2.0)
+        )
+        assert estimate != pytest.approx(100.0)
+
+    def test_callbacks_fire_on_loss_and_recovery(self):
+        lost, recovered = [], []
+        coordinator = make_coordinator(
+            faults=mid_sweep_outage(), policy=RetryPolicy()
+        )
+        coordinator.on_control_lost = lost.append
+        coordinator.on_control_recovered = recovered.append
+        coordinator.run_angle_search(
+            planted_metric(72.0), codebook=Codebook.uniform(40.0, 140.0, 2.0)
+        )
+        assert len(lost) == len(recovered) == len(coordinator.recoveries)
+        for t_lost, t_rec in zip(lost, recovered):
+            assert t_rec > t_lost

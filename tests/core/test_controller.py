@@ -155,3 +155,88 @@ class TestDecide:
         ap = Radio(Vec2(0.3, 0.3), boresight_deg=45.0)
         with pytest.raises(ValueError):
             MoVRSystem(room, ap, [], handoff_snr_db=float("nan"))
+
+
+class TestControlPlaneDegradation:
+    """A reflector whose BLE control plane is down must leave the
+    handoff candidate set, and rejoin on recovery."""
+
+    def _blocked_headset(self):
+        hs = headset_at(3.0, 3.0)
+        hand = hand_occluder(hs.position, bearing_deg(hs.position, Vec2(0.3, 0.3)))
+        return hs, [hand]
+
+    def test_down_reflector_excluded_and_readmitted(self, system):
+        hs, occluders = self._blocked_headset()
+        system.reset_link_state()
+        baseline = system.decide(hs, extra_occluders=occluders, t_s=0.0)
+        assert baseline.via == "movr0"
+        try:
+            system.mark_control_lost("movr0", t_s=0.1)
+            assert system.control_down == {"movr0"}
+            assert system.best_relay(hs, occluders) is None
+            for step in range(3):
+                decision = system.decide(
+                    hs, extra_occluders=occluders, t_s=0.1 + 0.01 * step
+                )
+                assert decision.via != "movr0"
+        finally:
+            system.mark_control_recovered("movr0", t_s=0.2)
+            system.reset_link_state()
+        assert system.control_down == frozenset()
+        recovered = system.decide(hs, extra_occluders=occluders, t_s=0.3)
+        assert recovered.via == "movr0"
+
+    def test_marks_are_idempotent(self, system):
+        try:
+            system.mark_control_lost("movr0")
+            system.mark_control_lost("movr0")
+            assert system.control_down == {"movr0"}
+        finally:
+            system.mark_control_recovered("movr0")
+        system.mark_control_recovered("movr0")  # no-op, no raise
+        assert system.control_down == frozenset()
+
+    def test_unknown_reflector_rejected(self, system):
+        with pytest.raises(ValueError, match="unknown reflector"):
+            system.mark_control_lost("nope")
+        with pytest.raises(ValueError, match="unknown reflector"):
+            system.mark_control_recovered("nope")
+
+    def test_degraded_serving_event_emitted_once_per_episode(self, system):
+        from repro import telemetry
+
+        hs, occluders = self._blocked_headset()
+        try:
+            with telemetry.scope("t") as sc:
+                system.reset_link_state()
+                system.mark_control_lost("movr0", t_s=1.0)
+                system.decide(hs, extra_occluders=occluders, t_s=1.0)
+                system.decide(hs, extra_occluders=occluders, t_s=1.1)
+            degraded = [
+                e
+                for e in sc.events
+                if e.kind is telemetry.EventKind.DEGRADED_SERVING
+            ]
+            assert len(degraded) == 1
+            assert degraded[0].fields["down"] == ["movr0"]
+            assert degraded[0].t_s == pytest.approx(1.0)
+        finally:
+            system.mark_control_recovered("movr0")
+            system.reset_link_state()
+
+    def test_attach_coordinator_wires_callbacks(self, system):
+        from repro.control.bluetooth import BleConfig, BleLink
+        from repro.control.protocol import ReflectorCoordinator
+
+        coordinator = ReflectorCoordinator(
+            system.reflectors[0],
+            BleLink(BleConfig(loss_rate=0.0, jitter_s=0.0), rng=0),
+        )
+        system.attach_coordinator(coordinator)
+        try:
+            coordinator.on_control_lost(5.0)
+            assert system.control_down == {"movr0"}
+        finally:
+            coordinator.on_control_recovered(6.0)
+        assert system.control_down == frozenset()

@@ -137,6 +137,7 @@ class TestRegistry:
             "ext-e2e",
             "ext-prediction",
             "ext-search-airtime",
+            "ext-fault-recovery",
             "ext-two-players",
             "ext-rate-distance",
             "ext-latency",

@@ -1,0 +1,52 @@
+"""Integration tests for the fault-recovery experiment."""
+
+import math
+
+import pytest
+
+from repro.experiments import run_fault_recovery
+
+
+def assert_all_checks_pass(report):
+    failed = report.failed_checks
+    assert not failed, "failed shape checks:\n" + "\n".join(str(c) for c in failed)
+
+
+class TestFaultRecovery:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fault_recovery(seed=7)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_one_row_per_intensity(self, report):
+        assert [row["intensity"] for row in report.rows] == [
+            "calm",
+            "busy",
+            "hostile",
+        ]
+
+    def test_recovery_latencies_finite(self, report):
+        for row in report.rows:
+            assert row["recoveries"] >= 1
+            for key in ("recovery_p50_s", "recovery_p95_s", "recovery_max_s"):
+                assert math.isfinite(row[key])
+                assert row[key] > 0.0
+
+    def test_outage_fraction_bounded(self, report):
+        for row in report.rows:
+            assert 0.0 <= row["outage_fraction"] < 1.0
+
+    def test_degradation_events_present(self, report):
+        kinds = [e["kind"] for e in report.events]
+        assert "control_lost" in kinds
+        assert "control_recovered" in kinds
+        assert "degraded_serving" in kinds
+
+    def test_cdf_notes_present(self, report):
+        assert any("recovery-latency" in n for n in report.notes)
+
+    def test_same_seed_reproduces(self, report):
+        again = run_fault_recovery(seed=7)
+        assert again.rows == report.rows

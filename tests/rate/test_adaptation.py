@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import telemetry
 from repro.rate.adaptation import RateAdapter, outage_fraction
 
 
@@ -90,3 +91,50 @@ class TestOutageFraction:
             outage_fraction([], 4000.0)
         with pytest.raises(ValueError):
             outage_fraction([10.0], 0.0)
+
+
+class TestRunTimeBase:
+    """Trace-driven runs must stamp rate_change events, not drop them
+    to ``t_s=None``."""
+
+    def _rate_events(self, sc):
+        return [
+            e for e in sc.events if e.kind is telemetry.EventKind.RATE_CHANGE
+        ]
+
+    def test_run_without_time_base_stamps_none(self):
+        adapter = RateAdapter()
+        with telemetry.scope("t") as sc:
+            adapter.run([25.0, 3.0])
+        events = self._rate_events(sc)
+        assert events and all(e.t_s is None for e in events)
+
+    def test_run_with_explicit_times(self):
+        adapter = RateAdapter()
+        with telemetry.scope("t") as sc:
+            adapter.run([25.0, 3.0, 25.0], times_s=[0.0, 0.5, 1.0])
+        events = self._rate_events(sc)
+        assert events
+        assert all(e.t_s is not None for e in events)
+        assert events[0].t_s == pytest.approx(0.0)
+        assert events[1].t_s == pytest.approx(0.5)
+
+    def test_run_with_uniform_step(self):
+        adapter = RateAdapter()
+        with telemetry.scope("t") as sc:
+            adapter.run([25.0, 3.0], t0_s=10.0, dt_s=0.1)
+        events = self._rate_events(sc)
+        assert [e.t_s for e in events] == pytest.approx([10.0, 10.1])
+
+    def test_time_base_validation(self):
+        adapter = RateAdapter()
+        with pytest.raises(ValueError):
+            adapter.run([25.0, 3.0], times_s=[0.0])  # length mismatch
+        with pytest.raises(ValueError):
+            adapter.run([25.0], times_s=[0.0], dt_s=0.1)  # both bases
+
+    def test_outage_fraction_threads_time_base(self):
+        with telemetry.scope("t") as sc:
+            outage_fraction([30.0] * 3 + [0.0] * 3, 4000.0, dt_s=0.25)
+        events = self._rate_events(sc)
+        assert events and all(e.t_s is not None for e in events)
