@@ -1,0 +1,99 @@
+"""Perf-regression trajectory: ``python -m repro bench``.
+
+Three layers:
+
+* :mod:`repro.bench.targets` — the curated, deterministic workloads
+  (one per paper figure / extension) with quick-mode parameters;
+* :mod:`repro.bench.runner` — min-of-k timing with per-round
+  telemetry-scope counter capture;
+* :mod:`repro.bench.trajectory` — append-only ``BENCH_<n>.json``
+  entries plus the noise-aware min-to-min diff against the previous
+  entry.
+
+:func:`run_bench` glues the layers together for the CLI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.bench.runner import (
+    DEFAULT_QUICK_ROUNDS,
+    DEFAULT_ROUNDS,
+    BenchResult,
+    run_suite,
+    run_target,
+)
+from repro.bench.targets import BENCH_TARGETS, BenchTarget, select_targets
+from repro.bench.trajectory import (
+    DEFAULT_THRESHOLD_PCT,
+    SCHEMA,
+    BenchDiff,
+    diff_entries,
+    latest_entry,
+    list_entries,
+    load_entry,
+    validate_entry,
+    write_entry,
+)
+
+
+def run_bench(
+    directory: Path,
+    quick: bool = False,
+    rounds: Optional[int] = None,
+    only: Optional[str] = None,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    check: bool = False,
+    log: Callable[[str], None] = print,
+) -> int:
+    """Run the suite, append a trajectory entry, diff vs the previous.
+
+    Returns a process exit code: non-zero only when ``check`` is set
+    and the diff against the previous *comparable* entry exceeds the
+    threshold.
+    """
+    targets = select_targets(quick=quick, only=only)
+    previous = latest_entry(directory)
+    mode = "quick" if quick else "full"
+    log(f"repro bench: {len(targets)} targets ({mode} mode)")
+    results = run_suite(targets, rounds=rounds, quick=quick, log=log)
+    path, entry = write_entry(directory, results, quick=quick)
+    log(f"wrote {path}")
+    if previous is None:
+        log("no previous trajectory entry; nothing to diff")
+        return 0
+    prev_path, prev_entry = previous
+    diff = diff_entries(prev_entry, entry, threshold_pct=threshold_pct)
+    for line in diff.format_lines():
+        log(line)
+    if diff.regressions:
+        log(
+            f"{len(diff.regressions)} benchmark(s) regressed more than "
+            f"{threshold_pct:.0f}% vs {prev_path.name}"
+        )
+        return 1 if check else 0
+    return 0
+
+
+__all__ = [
+    "BENCH_TARGETS",
+    "BenchDiff",
+    "BenchResult",
+    "BenchTarget",
+    "DEFAULT_QUICK_ROUNDS",
+    "DEFAULT_ROUNDS",
+    "DEFAULT_THRESHOLD_PCT",
+    "SCHEMA",
+    "diff_entries",
+    "latest_entry",
+    "list_entries",
+    "load_entry",
+    "run_bench",
+    "run_suite",
+    "run_target",
+    "select_targets",
+    "validate_entry",
+    "write_entry",
+]

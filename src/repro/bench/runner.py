@@ -1,0 +1,120 @@
+"""Min-of-k benchmark execution with per-round telemetry capture.
+
+Wall-clock timings are noisy (scheduler, thermal, cache state); the
+*minimum* over k rounds is the closest observable to the true cost of
+the work, so that is what the trajectory diffs compare.  Each round
+runs inside its own telemetry scope, which both isolates the target's
+counters from the caller and lets the trajectory entry persist a
+workload fingerprint (tracer calls, cache hits, kernel batches) next
+to the timing — a regression in *work done* is visible even when the
+timing noise hides it.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import telemetry
+from repro.bench.targets import BenchTarget
+
+DEFAULT_ROUNDS = 3
+DEFAULT_QUICK_ROUNDS = 2
+
+
+@dataclass
+class BenchResult:
+    """Timings and telemetry for one benchmark target."""
+
+    name: str
+    description: str
+    quick: bool
+    timings_ms: List[float]
+    #: Counter snapshot from the final round's telemetry scope.
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.timings_ms)
+
+    @property
+    def min_ms(self) -> float:
+        return min(self.timings_ms)
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.timings_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return sum(self.timings_ms) / len(self.timings_ms)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "description": self.description,
+            "rounds": self.rounds,
+            "min_ms": round(self.min_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "timings_ms": [round(t, 3) for t in self.timings_ms],
+            "counters": dict(self.counters),
+        }
+
+
+def run_target(target: BenchTarget, rounds: int, quick: bool) -> BenchResult:
+    """Time ``target`` min-of-``rounds``, counters captured per round."""
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    timings_ms: List[float] = []
+    counters: Dict[str, int] = {}
+    for _ in range(rounds):
+        gc.collect()
+        with telemetry.scope(f"bench.{target.name}") as sc:
+            start = time.perf_counter()
+            target.run(quick)
+            elapsed = time.perf_counter() - start
+            snap = sc.registry.snapshot()
+        timings_ms.append(elapsed * 1000.0)
+        # Deterministic workloads produce identical counters each
+        # round; keep the last so the entry reflects the timed work.
+        counters = {
+            name: int(value) for name, value in sorted(snap["counters"].items())
+        }
+    return BenchResult(
+        name=target.name,
+        description=target.description,
+        quick=quick,
+        timings_ms=timings_ms,
+        counters=counters,
+    )
+
+
+def run_suite(
+    targets: Sequence[BenchTarget],
+    rounds: Optional[int] = None,
+    quick: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run every target in order; ``log`` gets one progress line each."""
+    k = rounds if rounds is not None else (DEFAULT_QUICK_ROUNDS if quick else DEFAULT_ROUNDS)
+    results: List[BenchResult] = []
+    for target in targets:
+        result = run_target(target, rounds=k, quick=quick)
+        results.append(result)
+        if log is not None:
+            log(
+                f"  {result.name:<18} min {result.min_ms:9.1f} ms  "
+                f"mean {result.mean_ms:9.1f} ms  ({result.rounds} rounds)"
+            )
+    return results
+
+
+__all__ = [
+    "BenchResult",
+    "DEFAULT_ROUNDS",
+    "DEFAULT_QUICK_ROUNDS",
+    "run_target",
+    "run_suite",
+]

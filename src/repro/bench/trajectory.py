@@ -1,0 +1,249 @@
+"""The persisted perf-regression trajectory: ``BENCH_<n>.json`` files.
+
+Each ``python -m repro bench`` run appends one immutable entry to the
+trajectory directory (repo root by default).  Entries are never
+rewritten; the sequence of files *is* the performance history, and a
+diff of consecutive entries is the regression check.
+
+Diffs are noise-aware and honest about comparability:
+
+* min-to-min only — the minimum over k rounds is the low-noise
+  statistic (see :mod:`repro.bench.runner`);
+* a configurable percentage threshold (default 20%) absorbs residual
+  machine noise;
+* entries from different machines or different modes (``--quick`` vs
+  full) are still diffed for information, but never *enforced* —
+  a laptop being slower than CI is not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.runner import BenchResult
+
+SCHEMA = "repro.bench/1"
+DEFAULT_THRESHOLD_PCT = 20.0
+_ENTRY_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def fingerprint() -> Dict[str, object]:
+    """What makes two entries timing-comparable: interpreter + machine."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def make_entry(
+    results: Sequence[BenchResult],
+    quick: bool,
+    index: int = 0,
+) -> Dict[str, object]:
+    """Assemble one schema-valid trajectory entry from runner results."""
+    if not results:
+        raise ValueError("cannot write a trajectory entry with no results")
+    return {
+        "schema": SCHEMA,
+        "index": int(index),
+        "quick": bool(quick),
+        "fingerprint": fingerprint(),
+        "benchmarks": {r.name: r.to_dict() for r in results},
+    }
+
+
+def validate_entry(data: object) -> Dict[str, object]:
+    """Raise ``ValueError`` unless ``data`` is a well-formed entry."""
+    if not isinstance(data, dict):
+        raise ValueError("trajectory entry must be a JSON object")
+    schema = data.get("schema")
+    if not isinstance(schema, str) or not schema.startswith("repro.bench/"):
+        raise ValueError(f"unknown trajectory schema: {schema!r}")
+    if not isinstance(data.get("index"), int) or data["index"] < 0:
+        raise ValueError("trajectory entry needs a non-negative integer index")
+    if not isinstance(data.get("quick"), bool):
+        raise ValueError("trajectory entry needs a boolean 'quick' flag")
+    if not isinstance(data.get("fingerprint"), dict):
+        raise ValueError("trajectory entry needs a fingerprint object")
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise ValueError("trajectory entry needs a non-empty 'benchmarks' map")
+    for name, bench in benchmarks.items():
+        if not isinstance(bench, dict):
+            raise ValueError(f"benchmark {name!r} must be an object")
+        min_ms = bench.get("min_ms")
+        if not isinstance(min_ms, (int, float)) or not math.isfinite(min_ms) or min_ms <= 0:
+            raise ValueError(f"benchmark {name!r} needs a positive finite min_ms")
+        rounds = bench.get("rounds")
+        if not isinstance(rounds, int) or rounds < 1:
+            raise ValueError(f"benchmark {name!r} needs rounds >= 1")
+    return data
+
+
+def list_entries(directory: Path) -> List[Tuple[int, Path]]:
+    """All ``BENCH_<n>.json`` files in ``directory``, sorted by index."""
+    entries = []
+    if directory.is_dir():
+        for path in directory.iterdir():
+            match = _ENTRY_RE.match(path.name)
+            if match:
+                entries.append((int(match.group(1)), path))
+    return sorted(entries)
+
+
+def load_entry(path: Path) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_entry(json.load(fh))
+
+
+def latest_entry(directory: Path) -> Optional[Tuple[Path, Dict[str, object]]]:
+    """The highest-index valid entry, or ``None`` on an empty trajectory."""
+    entries = list_entries(directory)
+    if not entries:
+        return None
+    _, path = entries[-1]
+    return path, load_entry(path)
+
+
+def next_index(directory: Path) -> int:
+    entries = list_entries(directory)
+    return entries[-1][0] + 1 if entries else 0
+
+
+def write_entry(
+    directory: Path,
+    results: Sequence[BenchResult],
+    quick: bool,
+) -> Tuple[Path, Dict[str, object]]:
+    """Append the next ``BENCH_<n>.json``; returns (path, entry)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    entry = make_entry(results, quick=quick, index=next_index(directory))
+    validate_entry(entry)
+    path = directory / f"BENCH_{entry['index']}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path, entry
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """Min-to-min comparison of one benchmark across two entries."""
+
+    name: str
+    prev_min_ms: float
+    cur_min_ms: float
+
+    @property
+    def delta_pct(self) -> float:
+        return (self.cur_min_ms - self.prev_min_ms) / self.prev_min_ms * 100.0
+
+
+@dataclass
+class BenchDiff:
+    """The diff between two trajectory entries.
+
+    ``comparable`` is False when fingerprints or quick modes differ —
+    rows are still reported, but ``regressions`` is then empty by
+    construction (cross-machine deltas are informational only).
+    """
+
+    prev_index: int
+    cur_index: int
+    threshold_pct: float
+    comparable: bool
+    reason: str = ""
+    rows: List[DiffRow] = field(default_factory=list)
+    only_prev: List[str] = field(default_factory=list)
+    only_cur: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[DiffRow]:
+        if not self.comparable:
+            return []
+        return [r for r in self.rows if r.delta_pct > self.threshold_pct]
+
+    def format_lines(self) -> List[str]:
+        lines = [
+            f"bench diff: entry {self.prev_index} -> {self.cur_index} "
+            f"(threshold {self.threshold_pct:.0f}% min-to-min)"
+        ]
+        if not self.comparable:
+            lines.append(f"  [informational only: {self.reason}]")
+        for row in self.rows:
+            flag = "REGRESSION" if row in self.regressions else "ok"
+            lines.append(
+                f"  {row.name:<18} {row.prev_min_ms:9.1f} -> "
+                f"{row.cur_min_ms:9.1f} ms  ({row.delta_pct:+6.1f}%)  {flag}"
+            )
+        for name in self.only_prev:
+            lines.append(f"  {name:<18} dropped (present only in entry {self.prev_index})")
+        for name in self.only_cur:
+            lines.append(f"  {name:<18} new (present only in entry {self.cur_index})")
+        return lines
+
+
+def diff_entries(
+    previous: Dict[str, object],
+    current: Dict[str, object],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> BenchDiff:
+    """Min-to-min diff of two validated entries."""
+    if threshold_pct < 0:
+        raise ValueError("threshold_pct must be >= 0")
+    comparable = True
+    reasons = []
+    if previous.get("fingerprint") != current.get("fingerprint"):
+        comparable = False
+        reasons.append("different machine/interpreter fingerprints")
+    if previous.get("quick") != current.get("quick"):
+        comparable = False
+        reasons.append("different quick/full modes")
+    prev_benches: Dict[str, Dict[str, object]] = previous["benchmarks"]  # type: ignore[assignment]
+    cur_benches: Dict[str, Dict[str, object]] = current["benchmarks"]  # type: ignore[assignment]
+    shared = sorted(set(prev_benches) & set(cur_benches))
+    diff = BenchDiff(
+        prev_index=int(previous["index"]),  # type: ignore[arg-type]
+        cur_index=int(current["index"]),  # type: ignore[arg-type]
+        threshold_pct=threshold_pct,
+        comparable=comparable,
+        reason="; ".join(reasons),
+        rows=[
+            DiffRow(
+                name=name,
+                prev_min_ms=float(prev_benches[name]["min_ms"]),  # type: ignore[arg-type]
+                cur_min_ms=float(cur_benches[name]["min_ms"]),  # type: ignore[arg-type]
+            )
+            for name in shared
+        ],
+        only_prev=sorted(set(prev_benches) - set(cur_benches)),
+        only_cur=sorted(set(cur_benches) - set(prev_benches)),
+    )
+    return diff
+
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_THRESHOLD_PCT",
+    "BenchDiff",
+    "DiffRow",
+    "diff_entries",
+    "fingerprint",
+    "latest_entry",
+    "list_entries",
+    "load_entry",
+    "make_entry",
+    "next_index",
+    "validate_entry",
+    "write_entry",
+]

@@ -23,6 +23,16 @@ Telemetry flags (see docs/observability.md):
 ``--events``
     Print the full control-plane event log instead of the first few
     events per experiment.
+``--max-events N``
+    Print at most N events per experiment (overrides the default 8).
+``--slo``
+    Show the per-window breakdown under each SLO verdict.
+``--timeseries PATH``
+    Write every recorded time series (decimated points + exact
+    aggregates) as JSON.
+
+``python -m repro bench`` runs the perf-regression suite and appends
+a ``BENCH_<n>.json`` trajectory entry (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import telemetry
@@ -92,6 +103,66 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print every control-plane event (default: first few per "
         "experiment)",
     )
+    run.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print at most N events per experiment (ignored with --events)",
+    )
+    run.add_argument(
+        "--slo",
+        action="store_true",
+        help="show the per-window breakdown under each SLO verdict",
+    )
+    run.add_argument(
+        "--timeseries",
+        metavar="PATH",
+        default=None,
+        help="write every recorded time series (points + aggregates) as JSON",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the perf suite and append a BENCH_<n>.json trajectory entry",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads, fewer rounds (CI-friendly)",
+    )
+    bench.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        metavar="K",
+        help="timing rounds per target (min-of-K; default 3, 2 with --quick)",
+    )
+    bench.add_argument(
+        "--only",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated substrings selecting targets (e.g. fig7,e2e)",
+    )
+    bench.add_argument(
+        "--dir",
+        metavar="PATH",
+        default=".",
+        help="trajectory directory holding BENCH_<n>.json files (default: .)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="min-to-min regression threshold in percent (default 20)",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if any comparable benchmark regressed past "
+        "the threshold",
+    )
     return parser
 
 
@@ -116,18 +187,42 @@ def _run_one(
     max_rows: int,
     json_path: Optional[str] = None,
     show_all_events: bool = False,
+    max_events: Optional[int] = None,
+    slo_detail: bool = False,
 ) -> bool:
     fn = ALL_EXPERIMENTS[experiment_id]
     kwargs = {} if experiment_id in _SEEDLESS else {"seed": seed}
     report = fn(**kwargs)
-    report.print_report(
-        max_rows=max_rows,
-        max_events=None if show_all_events else 8,
-    )
+    if show_all_events:
+        report.max_events = None
+        report.print_report(max_rows=max_rows, max_events=None, slo_detail=slo_detail)
+    elif max_events is not None:
+        report.max_events = max_events
+        report.print_report(max_rows=max_rows, slo_detail=slo_detail)
+    else:
+        report.print_report(max_rows=max_rows, slo_detail=slo_detail)
     print()
     if json_path is not None:
         report.save_json(json_path)
     return report.all_checks_pass
+
+
+def _main_bench(args: argparse.Namespace) -> int:
+    from repro.bench import DEFAULT_THRESHOLD_PCT, run_bench
+
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD_PCT
+    try:
+        return run_bench(
+            Path(args.dir),
+            quick=args.quick,
+            rounds=args.rounds,
+            only=args.only,
+            threshold_pct=threshold,
+            check=args.check,
+        )
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -137,6 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment_id in ALL_EXPERIMENTS:
             print(experiment_id)
         return 0
+    if args.command == "bench":
+        return _main_bench(args)
     if args.experiment == "all":
         targets = list(ALL_EXPERIMENTS)
     elif args.experiment in ALL_EXPERIMENTS:
@@ -163,12 +260,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.max_rows,
                 json_path,
                 show_all_events=args.events,
+                max_events=args.max_events,
+                slo_detail=args.slo,
             )
             all_ok = all_ok and ok
     if args.metrics is not None:
         with open(args.metrics, "w") as handle:
             json.dump(sc.registry.snapshot(), handle, indent=2)
         print(f"metrics written to {args.metrics}")
+    if args.timeseries is not None:
+        with open(args.timeseries, "w") as handle:
+            json.dump(sc.registry.series_export(), handle, indent=2)
+        print(f"time series written to {args.timeseries}")
     if args.trace is not None:
         with open(args.trace, "w") as handle:
             json.dump(telemetry.chrome_trace_json(sc.tracer.roots), handle, indent=2)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro import telemetry
+from repro.telemetry.slo import SERVING_MODE_CODES
 from repro.core.gain_control import CurrentSensingGainController, GainControlResult
 from repro.core.reflector import MoVRReflector
 from repro.geometry.raytrace import RayTracer
@@ -97,6 +98,11 @@ class MoVRSystem:
         self._last_mode: Optional[str] = None
         self._last_via: Optional[str] = None
         self._blockage_active = False
+        #: Cadence of the QoE time-series sampler: decide() offers
+        #: link state (SNR, rate, mode, amplifier gain) to the active
+        #: scope's series at most this often in simulation time.
+        self.sample_period_s = 0.005
+        self._last_decide_t: Optional[float] = None
         # Reflectors whose BLE control plane is currently down: the AP
         # cannot push beam updates to them, so they are excluded from
         # handoff until the coordinator reports recovery.
@@ -378,8 +384,46 @@ class MoVRSystem:
         telemetry.observe(
             "controller.decide_ms", (time.perf_counter() - started) * 1000.0
         )
+        if t_s is not None:
+            self._sample_link_state(decision, t_s)
         self._emit_transitions(decision, t_s)
+        if t_s is not None:
+            self._last_decide_t = t_s
         return decision
+
+    def _sample_link_state(self, decision: LinkDecision, t_s: float) -> None:
+        """Offer this instant's link state to the QoE time series.
+
+        Dark-link SNRs are legitimately ``-inf`` and are skipped (the
+        ``link.mode_code`` series carries the outage signal); every
+        series shares the controller's sampling cadence.
+        """
+        period = self.sample_period_s
+        telemetry.sample(
+            "link.mode_code",
+            t_s,
+            SERVING_MODE_CODES[decision.mode],
+            min_interval_s=period,
+        )
+        telemetry.sample(
+            "link.rate_mbps", t_s, decision.rate_mbps, min_interval_s=period
+        )
+        if math.isfinite(decision.snr_db):
+            telemetry.sample("link.snr_db", t_s, decision.snr_db, min_interval_s=period)
+        if math.isfinite(decision.direct_snr_db):
+            telemetry.sample(
+                "link.direct_snr_db", t_s, decision.direct_snr_db, min_interval_s=period
+            )
+        if decision.via is not None:
+            for reflector in self.reflectors:
+                if reflector.name == decision.via:
+                    telemetry.sample(
+                        "link.amp_gain_db",
+                        t_s,
+                        reflector.amplifier.gain_db,
+                        min_interval_s=period,
+                    )
+                    break
 
     # ------------------------------------------------------------------
     # Control-plane event log
@@ -395,6 +439,7 @@ class MoVRSystem:
         self._last_mode = None
         self._last_via = None
         self._blockage_active = False
+        self._last_decide_t = None
         # Control-plane availability is infrastructure state and
         # survives a session reset, but the next degraded decision
         # should announce itself again.
@@ -432,6 +477,15 @@ class MoVRSystem:
         if self._last_mode is not None and (
             decision.mode != self._last_mode or decision.via != self._last_via
         ):
+            # The serving-path switch gap: time since the last healthy
+            # decision on the old path.  At the 90 Hz VR frame clock
+            # this is one frame interval; a slower decision loop shows
+            # up directly in the handoff-gap SLO.
+            gap_ms: Optional[float] = None
+            if t_s is not None and self._last_decide_t is not None:
+                gap = (t_s - self._last_decide_t) * 1000.0
+                if gap >= 0.0:
+                    gap_ms = gap
             if decision.mode == "outage":
                 telemetry.emit(
                     telemetry.EventKind.OUTAGE_BEGIN,
@@ -440,6 +494,10 @@ class MoVRSystem:
                     snr_db=decision.snr_db,
                 )
             elif self._last_mode == "outage":
+                if gap_ms is not None:
+                    telemetry.sample(
+                        "link.handoff_gap_ms", t_s, gap_ms, min_interval_s=0.0
+                    )
                 telemetry.emit(
                     telemetry.EventKind.OUTAGE_END,
                     t_s=t_s,
@@ -448,6 +506,11 @@ class MoVRSystem:
                     snr_db=decision.snr_db,
                 )
             else:
+                if gap_ms is not None:
+                    telemetry.sample(
+                        "link.handoff_gap_ms", t_s, gap_ms, min_interval_s=0.0
+                    )
+                gap_field = {} if gap_ms is None else {"gap_ms": gap_ms}
                 telemetry.emit(
                     telemetry.EventKind.HANDOFF,
                     t_s=t_s,
@@ -457,6 +520,7 @@ class MoVRSystem:
                     to_via=decision.via,
                     snr_db=decision.snr_db,
                     direct_snr_db=decision.direct_snr_db,
+                    **gap_field,
                 )
         self._last_mode = decision.mode
         self._last_via = decision.via

@@ -23,6 +23,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro import telemetry
 from repro.control.bluetooth import BleConfig, BleLink
 from repro.control.faults import FaultKind, FaultSchedule
 from repro.control.protocol import (
@@ -54,6 +55,30 @@ FAULT_INTENSITIES = (
 _TRIALS_PER_INTENSITY = 6
 _STEADY_STATE_PUSHES = 120
 _SWEEP_PEAK_DEG = 72.0
+#: Cadence of the reconstructed ``control.up`` availability series.
+_CONTROL_SAMPLE_DT_S = 0.05
+
+
+def _sample_control_availability(trial: Dict[str, object]) -> None:
+    """Record the trial's control-plane up/down timeline as a series.
+
+    The coordinator tracks recovery *episodes*, not a clocked signal;
+    here we reconstruct ``control.up`` (1 = reachable, 0 = dark) on a
+    uniform grid so the control-availability SLO can window over it.
+    Each trial restarts its clock at zero, which reopens the series'
+    cadence gate — the SLO engine sorts samples by time before
+    windowing, so concatenated trials still evaluate correctly.
+    """
+    elapsed = float(trial["elapsed_s"])
+    if elapsed <= 0.0:
+        return
+    episodes = trial["recoveries"]
+    windows = [(e.lost_t_s, e.recovered_t_s) for e in episodes]
+    steps = int(elapsed / _CONTROL_SAMPLE_DT_S) + 1
+    for i in range(steps):
+        t = i * _CONTROL_SAMPLE_DT_S
+        down = any(lost <= t < recovered for lost, recovered in windows)
+        telemetry.sample("control.up", t, 0.0 if down else 1.0)
 
 
 def _planted_metric(peak_deg: float):
@@ -188,6 +213,8 @@ def run_fault_recovery(seed: RngLike = None) -> ExperimentReport:
             )
             for trial in range(_TRIALS_PER_INTENSITY)
         ]
+        for trial_result in trials:
+            _sample_control_availability(trial_result)
         episodes = [e for t in trials for e in t["recoveries"]]
         latencies = downtime_cdf(episodes)
         completed = [t for t in trials if t["completed"]]

@@ -24,11 +24,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro import telemetry
-from repro.sim.counters import COUNTERS
+from repro.sim.counters import legacy_perf_snapshot
+from repro.telemetry import slo as slo_engine
 from repro.telemetry.scopes import TelemetryScope
 
 #: How many events the text report shows without ``--events``.
 DEFAULT_MAX_EVENTS = 8
+
+#: Sentinel for "use the report's own max_events option".
+_USE_REPORT_DEFAULT = object()
 
 
 @dataclass(frozen=True)
@@ -58,27 +62,36 @@ class ExperimentReport:
     events: List[Dict[str, object]] = field(default_factory=list)
     #: Tracing-span trees (see :class:`repro.telemetry.Span`).
     spans: List[Dict[str, object]] = field(default_factory=list)
-    #: Full metric snapshot: counters, gauges, histogram quantiles.
+    #: Full metric snapshot: counters, gauges, histogram quantiles,
+    #: and time-series digests.
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: SLO verdicts over the run's time series (dicts from
+    #: :meth:`repro.telemetry.slo.SloResult.to_dict`).
+    slos: List[Dict[str, object]] = field(default_factory=list)
+    #: Event-log render truncation for this report (``None`` = use
+    #: :data:`DEFAULT_MAX_EVENTS`); overridable per call and via the
+    #: CLI's ``--max-events`` / ``--events`` flags.
+    max_events: Optional[int] = None
 
     def add_row(self, **fields: object) -> None:
         self.rows.append(dict(fields))
 
-    def attach_perf(self) -> None:
-        """Snapshot the active scope's legacy perf counters.
+    def attach_perf(self, registry=None) -> None:
+        """Snapshot a registry's legacy perf counters.
 
         Kept for the pre-telemetry report surface: ``perf`` carries
-        the seven scene/kernel counters plus the derived rates.  The
+        the seven scene/kernel counters plus the derived rates, read
+        via :func:`repro.sim.counters.legacy_perf_snapshot` (the
+        deprecated ``COUNTERS`` facade is no longer involved).  The
         full metric snapshot (histograms included) lands in
         :attr:`metrics` via :meth:`attach_telemetry`.
         """
-        self.perf = dict(COUNTERS.snapshot())
-        self.perf["cache_hit_rate"] = round(COUNTERS.cache_hit_rate, 4)
-        self.perf["mean_kernel_batch"] = round(COUNTERS.mean_kernel_batch, 2)
+        registry = registry if registry is not None else telemetry.metrics()
+        self.perf = legacy_perf_snapshot(registry)
 
     def attach_telemetry(self, scope: TelemetryScope) -> None:
         """Capture everything a telemetry scope collected for this run."""
-        self.attach_perf()
+        self.attach_perf(scope.registry)
         self.metrics = scope.registry.snapshot()
         self.events = [event.to_dict() for event in scope.events]
         self.spans = [span.to_dict() for span in scope.tracer.roots]
@@ -124,8 +137,19 @@ class ExperimentReport:
             suffix.append(f"... ({len(self.rows) - max_rows} more rows)")
         return "\n".join([header, separator] + body + suffix)
 
-    def format_events(self, max_events: Optional[int] = DEFAULT_MAX_EVENTS) -> List[str]:
-        """Event-log lines: ``[t=1.234s] handoff from_mode=los ...``."""
+    def _resolve_max_events(self, max_events: object) -> Optional[int]:
+        """Call-level override > report option > module default."""
+        if max_events is _USE_REPORT_DEFAULT:
+            return self.max_events if self.max_events is not None else DEFAULT_MAX_EVENTS
+        return max_events  # type: ignore[return-value]
+
+    def format_events(self, max_events: object = _USE_REPORT_DEFAULT) -> List[str]:
+        """Event-log lines: ``[t=1.234s] handoff from_mode=los ...``.
+
+        ``max_events=None`` renders the full log; the default defers
+        to the report's :attr:`max_events` option.
+        """
+        max_events = self._resolve_max_events(max_events)
         shown = self.events if max_events is None else self.events[:max_events]
         lines = [f"  {_format_event(event)}" for event in shown]
         if max_events is not None and len(self.events) > max_events:
@@ -135,10 +159,35 @@ class ExperimentReport:
             )
         return lines
 
+    def format_slos(self, detail: bool = False) -> List[str]:
+        """SLO verdict lines; ``detail`` adds the per-window breakdown."""
+        lines: List[str] = []
+        for verdict in self.slos:
+            status = "PASS" if verdict.get("passed") else "VIOLATED"
+            lines.append(
+                f"  [{status}] {verdict.get('name')} — {verdict.get('objective')} "
+                f"({verdict.get('violated_windows')}/{len(verdict.get('windows', []))} "
+                f"windows violated, worst burn "
+                f"{float(verdict.get('worst_burn_rate', 0.0)):.2f}x, "
+                f"n={verdict.get('samples')})"
+            )
+            if detail:
+                for window in verdict.get("windows", []):
+                    mark = "VIOL" if window.get("violated") else "ok"
+                    lines.append(
+                        f"    [{mark}] window {float(window['start_s']):.1f}-"
+                        f"{float(window['end_s']):.1f}s: observed "
+                        f"{float(window['observed']):.4g} "
+                        f"(burn {float(window['burn_rate']):.2f}x, "
+                        f"n={window['samples']})"
+                    )
+        return lines
+
     def format_report(
         self,
         max_rows: Optional[int] = None,
-        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+        max_events: object = _USE_REPORT_DEFAULT,
+        slo_detail: bool = False,
     ) -> str:
         """Full human-readable report: table, notes, checks, telemetry."""
         lines = [f"=== {self.experiment_id}: {self.title} ===", ""]
@@ -150,6 +199,16 @@ class ExperimentReport:
             lines.append("")
             lines.append("shape checks vs the paper:")
             lines.extend(f"  {c}" for c in self.checks)
+        if self.slos:
+            lines.append("")
+            lines.append(f"SLOs ({len(self.slos)} evaluated):")
+            lines.extend(self.format_slos(detail=slo_detail))
+        series = self.metrics.get("series") if self.metrics else None
+        if series:
+            lines.append("")
+            lines.append("time series:")
+            for name, digest in series.items():
+                lines.append(f"  {name}: {_format_series(digest)}")
         if self.events:
             lines.append("")
             lines.append(f"control events ({len(self.events)}):")
@@ -175,9 +234,12 @@ class ExperimentReport:
     def print_report(
         self,
         max_rows: Optional[int] = None,
-        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+        max_events: object = _USE_REPORT_DEFAULT,
+        slo_detail: bool = False,
     ) -> None:
-        print(self.format_report(max_rows, max_events=max_events))
+        print(
+            self.format_report(max_rows, max_events=max_events, slo_detail=slo_detail)
+        )
 
     # -- serialization ------------------------------------------------------
 
@@ -197,6 +259,7 @@ class ExperimentReport:
             "events": [dict(e) for e in self.events],
             "spans": [dict(s) for s in self.spans],
             "metrics": dict(self.metrics),
+            "slos": [dict(s) for s in self.slos],
         }
 
     def save_json(self, path: str) -> None:
@@ -239,6 +302,7 @@ class ExperimentReport:
         report.events = [dict(e) for e in data.get("events", [])]
         report.spans = [dict(s) for s in data.get("spans", [])]
         report.metrics = dict(data.get("metrics", {}))
+        report.slos = [dict(s) for s in data.get("slos", [])]
         return report
 
 
@@ -263,6 +327,13 @@ def scoped_run(
                 with telemetry.span(experiment_id):
                     report = fn(*args, **kwargs)
                 if isinstance(report, ExperimentReport):
+                    # Evaluate the stock QoE objectives over whatever
+                    # time series the run sampled (skipped wholesale
+                    # when it sampled none).  Violations emit typed
+                    # ``slo_violation`` events into this scope, so they
+                    # land in the report's own event log.
+                    results = slo_engine.evaluate_scope(sc)
+                    report.slos = [r.to_dict() for r in results]
                     report.attach_telemetry(sc)
             return report
 
@@ -281,6 +352,20 @@ def _format_event(event: Dict[str, object]) -> str:
         if k not in ("kind", "t_s")
     )
     return f"[{when}] {kind}" + (f" {detail}" if detail else "")
+
+
+def _format_series(digest: object) -> str:
+    if not isinstance(digest, dict):
+        return str(digest)
+    parts = [f"n={digest.get('count')}", f"kept={digest.get('retained')}"]
+    first, last = digest.get("first_t_s"), digest.get("last_t_s")
+    if isinstance(first, (int, float)) and isinstance(last, (int, float)):
+        parts.append(f"t={first:.2f}..{last:.2f}s")
+    for key in ("min", "mean", "max"):
+        value = digest.get(key)
+        if isinstance(value, (int, float)):
+            parts.append(f"{key}={value:.3g}")
+    return " ".join(parts)
 
 
 def _format_histogram(digest: object) -> str:

@@ -10,6 +10,7 @@ period, avoiding rate flapping around a threshold.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -30,6 +31,9 @@ class RateAdapter:
     margin_db: float = 2.0
     up_dwell: int = 3
     phys: Sequence[PhyType] = (PhyType.CONTROL, PhyType.SINGLE_CARRIER, PhyType.OFDM)
+    #: Cadence of the ``rate.mbps`` QoE series sampled by
+    #: :meth:`observe` whenever the caller supplies a clock.
+    sample_period_s: float = 0.005
     _current: Optional[Mcs] = field(default=None, init=False)
     _up_count: int = field(default=0, init=False)
 
@@ -53,6 +57,10 @@ class RateAdapter:
         emitted whenever the MCS actually moves.
         """
         previous = self._current
+        if t_s is not None and math.isfinite(snr_db):
+            telemetry.sample(
+                "rate.snr_db", t_s, snr_db, min_interval_s=self.sample_period_s
+            )
         target = best_mcs_for_snr(snr_db, phys=self.phys, margin_db=self.margin_db)
         if target is None:
             # Outage: drop everything immediately.
@@ -85,6 +93,14 @@ class RateAdapter:
     ) -> None:
         before = None if previous is None else previous.data_rate_mbps
         after = None if self._current is None else self._current.data_rate_mbps
+        if t_s is not None:
+            # The adapted-rate QoE series; 0 means nothing decodes.
+            telemetry.sample(
+                "rate.mbps",
+                t_s,
+                0.0 if after is None else after,
+                min_interval_s=self.sample_period_s,
+            )
         if before == after:
             return
         telemetry.inc("rate.changes")

@@ -24,15 +24,22 @@ bug where a sub-experiment zeroed its caller's counters is gone.
 
 New code should use :func:`repro.telemetry.inc` /
 :func:`repro.telemetry.metrics` directly; see
-``docs/observability.md``.  This module will be removed once nothing
+``docs/observability.md``.  Every ``COUNTERS`` access now emits a
+:class:`DeprecationWarning`; in-tree code has been migrated (the
+report harness reads :func:`legacy_perf_snapshot`, which is not
+deprecated), and the facade will be removed once nothing out-of-tree
 imports it (deprecation path documented in ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import warnings
+from typing import TYPE_CHECKING, Dict
 
 from repro.telemetry import metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 #: Legacy attribute name -> registry metric name.
 LEGACY_COUNTER_METRICS: Dict[str, str] = {
@@ -45,9 +52,44 @@ LEGACY_COUNTER_METRICS: Dict[str, str] = {
     "link_sweeps": "link.sweeps",
 }
 
+_DEPRECATION_MESSAGE = (
+    "repro.sim.counters.COUNTERS is deprecated; use repro.telemetry "
+    "(telemetry.inc/telemetry.metrics) instead — see docs/performance.md"
+)
+
+
+def _warn_deprecated() -> None:
+    # stacklevel=3: skip this helper and the PerfCounters method so
+    # the warning points at the caller's line.
+    warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=3)
+
+
+def legacy_perf_snapshot(registry: "MetricsRegistry") -> Dict[str, object]:
+    """The legacy seven-counter dict plus derived rates, warning-free.
+
+    This is the supported internal reader (``ExperimentReport.perf``
+    uses it); the deprecated ``COUNTERS`` facade below delegates here.
+    """
+    snap: Dict[str, object] = {
+        legacy: registry.counter_value(metric)
+        for legacy, metric in LEGACY_COUNTER_METRICS.items()
+    }
+    hits = registry.counter_value("scene.cache.hits")
+    misses = registry.counter_value("scene.cache.misses")
+    queries = hits + misses
+    snap["cache_hit_rate"] = round(hits / queries, 4) if queries else 0.0
+    batches = registry.counter_value("kernel.batches")
+    angles = registry.counter_value("kernel.angles")
+    snap["mean_kernel_batch"] = round(angles / batches, 2) if batches else 0.0
+    return snap
+
 
 class PerfCounters:
-    """Attribute-style view of the active scope's scene/kernel counters."""
+    """Attribute-style view of the active scope's scene/kernel counters.
+
+    Every access emits a :class:`DeprecationWarning`; the shim exists
+    only for out-of-tree callers of the pre-telemetry API.
+    """
 
     __slots__ = ()
 
@@ -55,12 +97,14 @@ class PerfCounters:
         metric = LEGACY_COUNTER_METRICS.get(name)
         if metric is None:
             raise AttributeError(f"PerfCounters has no counter {name!r}")
+        _warn_deprecated()
         return metrics().counter_value(metric)
 
     def __setattr__(self, name: str, value: object) -> None:
         metric = LEGACY_COUNTER_METRICS.get(name)
         if metric is None:
             raise AttributeError(f"PerfCounters has no counter {name!r}")
+        _warn_deprecated()
         metrics().counter(metric).value = int(value)  # type: ignore[arg-type]
 
     def reset(self) -> None:
@@ -69,10 +113,12 @@ class PerfCounters:
         Under the scoped registry this can no longer clobber an
         enclosing experiment: only the current scope is cleared.
         """
+        _warn_deprecated()
         metrics().reset()
 
     def snapshot(self) -> Dict[str, int]:
         """The legacy seven-counter dict, read from the active scope."""
+        _warn_deprecated()
         registry = metrics()
         return {
             legacy: registry.counter_value(metric)
@@ -82,6 +128,7 @@ class PerfCounters:
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of path-set queries served without tracing."""
+        _warn_deprecated()
         registry = metrics()
         hits = registry.counter_value("scene.cache.hits")
         misses = registry.counter_value("scene.cache.misses")
@@ -91,6 +138,7 @@ class PerfCounters:
     @property
     def mean_kernel_batch(self) -> float:
         """Average angles per vectorized kernel call."""
+        _warn_deprecated()
         registry = metrics()
         batches = registry.counter_value("kernel.batches")
         angles = registry.counter_value("kernel.angles")

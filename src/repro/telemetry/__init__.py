@@ -51,11 +51,17 @@ from repro.telemetry.scopes import (
     inc,
     metrics,
     observe,
+    sample,
     scope,
     set_gauge,
     span,
 )
 from repro.telemetry.spans import Span, Tracer, chrome_trace_events, chrome_trace_json
+from repro.telemetry.timeseries import (
+    DEFAULT_MAX_POINTS,
+    DEFAULT_MIN_INTERVAL_S,
+    TimeSeries,
+)
 
 __all__ = [
     "ControlEvent",
@@ -73,8 +79,12 @@ __all__ = [
     "inc",
     "observe",
     "set_gauge",
+    "sample",
     "span",
     "emit",
+    "TimeSeries",
+    "DEFAULT_MAX_POINTS",
+    "DEFAULT_MIN_INTERVAL_S",
     "Span",
     "Tracer",
     "chrome_trace_events",

@@ -48,6 +48,11 @@ class EventKind(str, enum.Enum):
     #: The system is serving while at least one reflector is excluded
     #: from handoff because its control plane is down.
     DEGRADED_SERVING = "degraded_serving"
+    #: A service-level objective burned through its error budget in at
+    #: least one rolling window (see :mod:`repro.telemetry.slo`);
+    #: fields carry the SLO name, the episode's window bounds, and the
+    #: worst burn rate.
+    SLO_VIOLATION = "slo_violation"
 
 
 @dataclass(frozen=True)

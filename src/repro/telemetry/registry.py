@@ -14,7 +14,7 @@ Metric names are dotted paths; the convention is
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.telemetry.instruments import (
     DEFAULT_MAX_SAMPLES,
@@ -22,15 +22,21 @@ from repro.telemetry.instruments import (
     Gauge,
     Histogram,
 )
+from repro.telemetry.timeseries import (
+    DEFAULT_MAX_POINTS,
+    DEFAULT_MIN_INTERVAL_S,
+    TimeSeries,
+)
 
 
 class MetricsRegistry:
-    """A namespace of counters, gauges, and histograms."""
+    """A namespace of counters, gauges, histograms, and time series."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
 
     # -- instrument access (get-or-create) -------------------------------
 
@@ -52,6 +58,24 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name, max_samples=max_samples)
         return instrument
 
+    def series(
+        self,
+        name: str,
+        max_points: int = DEFAULT_MAX_POINTS,
+        min_interval_s: float = DEFAULT_MIN_INTERVAL_S,
+    ) -> TimeSeries:
+        """Get-or-create a time series (creation params apply once)."""
+        instrument = self._series.get(name)
+        if instrument is None:
+            instrument = self._series[name] = TimeSeries(
+                name, max_points=max_points, min_interval_s=min_interval_s
+            )
+        return instrument
+
+    def get_series(self, name: str) -> Optional[TimeSeries]:
+        """The named series, or ``None`` if nothing sampled it."""
+        return self._series.get(name)
+
     # -- recording conveniences ------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
@@ -71,6 +95,16 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float) -> None:
         self.gauge(name).set(value)
 
+    def sample(
+        self,
+        name: str,
+        t_s: float,
+        value: float,
+        min_interval_s: float = DEFAULT_MIN_INTERVAL_S,
+    ) -> bool:
+        """Offer one time-series sample; returns whether it was taken."""
+        return self.series(name, min_interval_s=min_interval_s).sample(t_s, value)
+
     # -- reading ---------------------------------------------------------
 
     def counter_value(self, name: str) -> int:
@@ -87,13 +121,19 @@ class MetricsRegistry:
             "histograms": {
                 n: h.summary() for n, h in sorted(self._histograms.items())
             },
+            "series": {n: s.summary() for n, s in sorted(self._series.items())},
         }
+
+    def series_export(self) -> Dict[str, Dict[str, object]]:
+        """Full time-series dump including retained points (``--timeseries``)."""
+        return {n: s.to_dict() for n, s in sorted(self._series.items())}
 
     def reset(self) -> None:
         """Drop every instrument (start of a fresh measurement window)."""
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._series.clear()
 
     # -- combination ------------------------------------------------------
 
@@ -118,6 +158,14 @@ class MetricsRegistry:
                 )
             else:
                 self._histograms[name] = mine.merge(hist)
+        for name, series in other._series.items():
+            mine_series = self._series.get(name)
+            if mine_series is None:
+                self._series[name] = series.merge(
+                    TimeSeries(name, max_points=series.max_points)
+                )
+            else:
+                self._series[name] = mine_series.merge(series)
 
 
 __all__ = ["MetricsRegistry"]

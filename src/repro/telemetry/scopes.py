@@ -97,6 +97,16 @@ def set_gauge(name: str, value: float) -> None:
     _STACK.get()[-1].registry.set_gauge(name, value)
 
 
+def sample(name: str, t_s: float, value: float, **kwargs: float) -> bool:
+    """Offer one time-series sample to the innermost scope.
+
+    ``kwargs`` pass through to :meth:`MetricsRegistry.sample`
+    (``min_interval_s`` adjusts the cadence gate).  Returns whether
+    the sample was accepted.
+    """
+    return _STACK.get()[-1].registry.sample(name, t_s, value, **kwargs)
+
+
 @contextmanager
 def span(name: str, **attrs: object) -> Iterator[Span]:
     """Open a tracing span in the innermost scope.
@@ -134,6 +144,7 @@ __all__ = [
     "inc",
     "observe",
     "set_gauge",
+    "sample",
     "span",
     "emit",
 ]

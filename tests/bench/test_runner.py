@@ -1,0 +1,90 @@
+"""The bench runner: target selection, min-of-k timing, counter capture."""
+
+import pytest
+
+from repro.bench.runner import BenchResult, run_suite, run_target
+from repro.bench.targets import BENCH_TARGETS, BenchTarget, select_targets
+
+
+def _tiny_target(calls):
+    def fn(scale=100):
+        calls.append(scale)
+        # Real work inside a telemetry scope, so counters register.
+        from repro import telemetry
+
+        telemetry.inc("test.work", scale)
+        return sum(range(scale))
+
+    return BenchTarget(
+        name="tiny",
+        description="test workload",
+        fn=fn,
+        kwargs={"scale": 100},
+        quick_kwargs={"scale": 10},
+    )
+
+
+class TestSelection:
+    def test_full_suite_covers_the_paper_figures(self):
+        names = {t.name for t in BENCH_TARGETS}
+        assert {"fig7-leakage", "fig8-alignment", "fig9-snr-cdf", "e2e-session"} <= names
+
+    def test_quick_mode_drops_opted_out_targets(self):
+        quick_names = {t.name for t in select_targets(quick=True)}
+        full_names = {t.name for t in select_targets(quick=False)}
+        assert "fig3-blockage" in full_names
+        assert "fig3-blockage" not in quick_names
+
+    def test_only_filters_by_substring(self):
+        selected = select_targets(only="fig7,fig9")
+        assert {t.name for t in selected} == {"fig7-leakage", "fig9-snr-cdf"}
+
+    def test_unmatched_filter_raises(self):
+        with pytest.raises(ValueError, match="no benchmark targets"):
+            select_targets(only="nonsense")
+
+    def test_quick_kwargs_merge_over_full(self):
+        target = next(t for t in BENCH_TARGETS if t.name == "fig8-alignment")
+        assert target.call_kwargs(quick=False)["num_runs"] == 100
+        quick = target.call_kwargs(quick=True)
+        assert quick["num_runs"] == 20
+        assert quick["seed"] == 2016
+
+
+class TestRunner:
+    def test_min_of_k_rounds(self):
+        calls = []
+        result = run_target(_tiny_target(calls), rounds=3, quick=False)
+        assert calls == [100, 100, 100]
+        assert result.rounds == 3
+        assert result.min_ms == min(result.timings_ms)
+        assert result.min_ms <= result.mean_ms <= result.max_ms
+        assert result.counters["test.work"] == 100
+
+    def test_quick_mode_uses_quick_kwargs(self):
+        calls = []
+        run_target(_tiny_target(calls), rounds=1, quick=True)
+        assert calls == [10]
+
+    def test_rounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_target(_tiny_target([]), rounds=0, quick=False)
+
+    def test_suite_logs_progress(self):
+        lines = []
+        results = run_suite([_tiny_target([])], rounds=1, log=lines.append)
+        assert len(results) == 1
+        assert any("tiny" in line for line in lines)
+
+    def test_result_to_dict_is_json_shaped(self):
+        result = BenchResult(
+            name="x",
+            description="d",
+            quick=False,
+            timings_ms=[2.0, 1.0],
+            counters={"c": 1},
+        )
+        data = result.to_dict()
+        assert data["min_ms"] == 1.0
+        assert data["rounds"] == 2
+        assert data["counters"] == {"c": 1}

@@ -1,0 +1,134 @@
+"""The bench trajectory: entry schema, append-only indexing, diffs."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import BenchResult
+from repro.bench.trajectory import (
+    DEFAULT_THRESHOLD_PCT,
+    SCHEMA,
+    diff_entries,
+    latest_entry,
+    list_entries,
+    load_entry,
+    make_entry,
+    next_index,
+    validate_entry,
+    write_entry,
+)
+
+
+def result(name="fig7-leakage", timings=(10.0, 9.0, 11.0)):
+    return BenchResult(
+        name=name,
+        description="test target",
+        quick=False,
+        timings_ms=list(timings),
+        counters={"kernel.batches": 4},
+    )
+
+
+class TestEntrySchema:
+    def test_make_entry_is_schema_valid(self):
+        entry = make_entry([result()], quick=False, index=0)
+        validate_entry(entry)
+        assert entry["schema"] == SCHEMA
+        bench = entry["benchmarks"]["fig7-leakage"]
+        assert bench["min_ms"] == 9.0
+        assert bench["rounds"] == 3
+        assert bench["counters"]["kernel.batches"] == 4
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            make_entry([], quick=False)
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"schema": "other/1"},
+            {"index": -1},
+            {"quick": "yes"},
+            {"fingerprint": None},
+            {"benchmarks": {}},
+            {"benchmarks": {"x": {"min_ms": -1.0, "rounds": 1}}},
+            {"benchmarks": {"x": {"min_ms": 1.0, "rounds": 0}}},
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutation):
+        entry = make_entry([result()], quick=False)
+        entry.update(mutation)
+        with pytest.raises(ValueError):
+            validate_entry(entry)
+
+
+class TestAppendOnly:
+    def test_indices_increment_and_never_overwrite(self, tmp_path):
+        path0, entry0 = write_entry(tmp_path, [result()], quick=True)
+        path1, entry1 = write_entry(tmp_path, [result()], quick=True)
+        assert path0.name == "BENCH_0.json"
+        assert path1.name == "BENCH_1.json"
+        assert entry0["index"] == 0 and entry1["index"] == 1
+        assert [i for i, _ in list_entries(tmp_path)] == [0, 1]
+        assert next_index(tmp_path) == 2
+
+    def test_latest_entry_roundtrips(self, tmp_path):
+        assert latest_entry(tmp_path) is None
+        write_entry(tmp_path, [result()], quick=False)
+        path, entry = latest_entry(tmp_path)
+        assert entry == load_entry(path)
+
+    def test_gaps_in_the_sequence_are_tolerated(self, tmp_path):
+        write_entry(tmp_path, [result()], quick=False)
+        entry = make_entry([result()], quick=False, index=7)
+        with open(tmp_path / "BENCH_7.json", "w") as fh:
+            json.dump(entry, fh)
+        assert next_index(tmp_path) == 8
+
+
+class TestDiff:
+    def test_self_diff_reports_no_regression(self, tmp_path):
+        _, entry = write_entry(tmp_path, [result()], quick=False)
+        diff = diff_entries(entry, entry)
+        assert diff.comparable
+        assert diff.rows[0].delta_pct == 0.0
+        assert diff.regressions == []
+
+    def test_regression_past_threshold_is_flagged(self):
+        prev = make_entry([result(timings=(10.0,))], quick=False, index=0)
+        cur = make_entry([result(timings=(13.0,))], quick=False, index=1)
+        diff = diff_entries(prev, cur, threshold_pct=20.0)
+        assert diff.comparable
+        assert len(diff.regressions) == 1
+        assert diff.regressions[0].delta_pct == pytest.approx(30.0)
+        assert any("REGRESSION" in line for line in diff.format_lines())
+
+    def test_slowdown_within_threshold_is_noise(self):
+        prev = make_entry([result(timings=(10.0,))], quick=False, index=0)
+        cur = make_entry([result(timings=(11.5,))], quick=False, index=1)
+        diff = diff_entries(prev, cur, threshold_pct=DEFAULT_THRESHOLD_PCT)
+        assert diff.regressions == []
+
+    def test_quick_vs_full_is_informational_only(self):
+        prev = make_entry([result(timings=(10.0,))], quick=True, index=0)
+        cur = make_entry([result(timings=(100.0,))], quick=False, index=1)
+        diff = diff_entries(prev, cur)
+        assert not diff.comparable
+        assert "quick" in diff.reason
+        assert diff.regressions == []
+        assert any("informational" in line for line in diff.format_lines())
+
+    def test_fingerprint_mismatch_is_informational_only(self):
+        prev = make_entry([result(timings=(10.0,))], quick=False, index=0)
+        cur = make_entry([result(timings=(100.0,))], quick=False, index=1)
+        prev["fingerprint"] = dict(prev["fingerprint"], machine="riscv64")
+        diff = diff_entries(prev, cur)
+        assert not diff.comparable
+        assert diff.regressions == []
+
+    def test_added_and_dropped_benchmarks_are_reported(self):
+        prev = make_entry([result(name="old")], quick=False, index=0)
+        cur = make_entry([result(name="new")], quick=False, index=1)
+        diff = diff_entries(prev, cur)
+        assert diff.only_prev == ["old"]
+        assert diff.only_cur == ["new"]

@@ -101,3 +101,76 @@ class TestTelemetryFlags:
         out = capsys.readouterr().out
         assert "control events" in out
         assert "more events" not in out
+
+    def test_max_events_flag_truncates_log(self, capsys):
+        assert main(["run", "ext-e2e", "--seed", "7", "--max-events", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more events" in out
+        # Exactly two event lines render before the truncation marker.
+        section = out.split("control events")[1]
+        event_lines = [
+            line
+            for line in section.splitlines()
+            if line.startswith("  [t=")
+        ]
+        assert len(event_lines) == 2
+
+    def test_slo_flag_shows_window_breakdown(self, capsys):
+        assert main(["run", "ext-e2e", "--seed", "7", "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLOs (" in out
+        assert "window " in out  # per-window detail lines
+
+    def test_timeseries_flag_writes_points(self, tmp_path, capsys):
+        import json
+
+        ts_path = tmp_path / "series.json"
+        assert main(
+            ["run", "ext-e2e", "--seed", "7", "--timeseries", str(ts_path)]
+        ) == 0
+        series = json.loads(ts_path.read_text())
+        assert "link.snr_db" in series
+        assert series["link.snr_db"]["count"] > 0
+        assert series["link.snr_db"]["points"]
+
+
+class TestBenchCommand:
+    def test_bench_writes_and_diffs_trajectory(self, tmp_path, capsys):
+        args = [
+            "bench",
+            "--quick",
+            "--rounds",
+            "1",
+            "--only",
+            "fig7",
+            "--dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        assert (tmp_path / "BENCH_0.json").exists()
+        capsys.readouterr()
+        # Second run diffs against the first; same machine and mode,
+        # so the self-comparison must not flag a regression.
+        assert main(args + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert (tmp_path / "BENCH_1.json").exists()
+        assert "bench diff: entry 0 -> 1" in out
+        assert "REGRESSION" not in out
+
+    def test_bench_entry_is_schema_valid(self, tmp_path):
+        import json
+
+        from repro.bench.trajectory import validate_entry
+
+        assert main(
+            ["bench", "--quick", "--rounds", "1", "--only", "fig7", "--dir", str(tmp_path)]
+        ) == 0
+        entry = validate_entry(
+            json.loads((tmp_path / "BENCH_0.json").read_text())
+        )
+        assert entry["quick"] is True
+        assert "fig7-leakage" in entry["benchmarks"]
+
+    def test_bench_unknown_only_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "--only", "nonsense", "--dir", str(tmp_path)]) == 2
+        assert "no benchmark targets" in capsys.readouterr().err

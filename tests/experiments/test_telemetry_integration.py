@@ -12,13 +12,12 @@ import math
 from repro import telemetry
 from repro.experiments import run_comparison, run_e2e_session
 from repro.experiments.harness import ExperimentReport, scoped_run
-from repro.sim.counters import COUNTERS
 
 
 class TestNestedExperimentInvocation:
     def test_outer_counters_survive_a_nested_experiment(self):
         with telemetry.scope("outer") as outer:
-            COUNTERS.cache_hits += 5
+            telemetry.inc("scene.cache.hits", 5)
             report = run_e2e_session(duration_s=1.0, seed=3)
             # The nested run could not clobber the outer tally...
             assert outer.registry.counter_value("scene.cache.hits") >= 5
@@ -79,6 +78,33 @@ class TestE2eEventLog:
         assert hist["controller.decide_ms"]["count"] > 0
         for key in ("p50", "p95", "p99"):
             assert math.isfinite(hist["controller.decide_ms"][key])
+
+
+class TestSloSurface:
+    def test_e2e_report_evaluates_the_qoe_slos(self):
+        report = run_e2e_session(duration_s=2.0, seed=7)
+        names = {verdict["name"] for verdict in report.slos}
+        assert len(names) >= 3
+        assert {"outage-fraction", "time-below-hd-snr"} <= names
+        for verdict in report.slos:
+            assert verdict["windows"], "every evaluated SLO carries windows"
+            assert isinstance(verdict["passed"], bool)
+        rendered = report.format_report(slo_detail=True)
+        assert "SLOs (" in rendered
+        assert "window " in rendered
+
+    def test_fault_schedule_drives_slo_violation_events(self):
+        from repro.experiments import run_fault_recovery
+
+        report = run_fault_recovery(seed=3)
+        violations = [e for e in report.events if e["kind"] == "slo_violation"]
+        assert violations, "hostile fault schedules must breach an SLO"
+        assert any(
+            e["slo"] == "control-availability" for e in violations
+        )
+        for event in violations:
+            assert event["burn_rate"] > 1.0
+            assert event["until_s"] >= event["t_s"]
 
 
 class TestReportSerialization:

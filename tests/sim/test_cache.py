@@ -1,13 +1,19 @@
-"""SceneCache: memoization, occluder-keyed staleness, counters."""
+"""SceneCache: memoization, occluder-keyed staleness, counters.
+
+Counter assertions read the telemetry registry directly
+(``scene.tracer_calls``, ``scene.cache.*``) inside a fresh scope per
+test — the deprecated ``COUNTERS`` facade is exercised separately in
+``test_counters_shim.py``.
+"""
 
 import math
 
+from repro import telemetry
 from repro.geometry.raytrace import RayTracer
 from repro.geometry.room import Room, standard_office
 from repro.geometry.shapes import Circle
 from repro.geometry.vectors import Vec2
 from repro.sim.cache import SceneCache, occluder_signature
-from repro.sim.counters import COUNTERS
 
 TX = Vec2(0.5, 0.5)
 RX = Vec2(4.5, 4.5)
@@ -20,12 +26,12 @@ def make_cache(furnished: bool = False, **kwargs) -> SceneCache:
 class TestMemoization:
     def test_repeat_query_hits_and_returns_same_paths(self):
         cache = make_cache()
-        COUNTERS.reset()
-        first = cache.all_paths(TX, RX)
-        assert COUNTERS.tracer_calls == 1
-        second = cache.all_paths(TX, RX)
-        assert COUNTERS.tracer_calls == 1
-        assert COUNTERS.cache_hits == 1
+        with telemetry.scope("t") as sc:
+            first = cache.all_paths(TX, RX)
+            assert sc.registry.counter_value("scene.tracer_calls") == 1
+            second = cache.all_paths(TX, RX)
+            assert sc.registry.counter_value("scene.tracer_calls") == 1
+            assert sc.registry.counter_value("scene.cache.hits") == 1
         assert second is first
 
     def test_matches_uncached_tracer(self):
@@ -37,14 +43,14 @@ class TestMemoization:
 
     def test_distinct_endpoints_and_bounce_budgets_miss(self):
         cache = make_cache()
-        COUNTERS.reset()
-        cache.all_paths(TX, RX, max_bounces=1)
-        cache.all_paths(TX, RX, max_bounces=2)
-        cache.all_paths(TX, Vec2(4.5, 4.4), max_bounces=2)
-        cache.reflection_paths(TX, RX, max_bounces=2)
-        cache.line_of_sight(TX, RX)
-        assert COUNTERS.cache_hits == 0
-        assert COUNTERS.tracer_calls == 5
+        with telemetry.scope("t") as sc:
+            cache.all_paths(TX, RX, max_bounces=1)
+            cache.all_paths(TX, RX, max_bounces=2)
+            cache.all_paths(TX, Vec2(4.5, 4.4), max_bounces=2)
+            cache.reflection_paths(TX, RX, max_bounces=2)
+            cache.line_of_sight(TX, RX)
+            assert sc.registry.counter_value("scene.cache.hits") == 0
+            assert sc.registry.counter_value("scene.tracer_calls") == 5
 
     def test_lru_eviction_bounds_entries(self):
         cache = make_cache(max_entries=4)
@@ -58,11 +64,11 @@ class TestStaleness:
 
     def test_extra_occluder_changes_key(self):
         cache = make_cache()
-        COUNTERS.reset()
-        clear = cache.line_of_sight(TX, RX)
-        blocker = Circle(center=Vec2(2.5, 2.5), radius=0.3)
-        blocked = cache.line_of_sight(TX, RX, extra_occluders=(blocker,))
-        assert COUNTERS.cache_hits == 0
+        with telemetry.scope("t") as sc:
+            clear = cache.line_of_sight(TX, RX)
+            blocker = Circle(center=Vec2(2.5, 2.5), radius=0.3)
+            blocked = cache.line_of_sight(TX, RX, extra_occluders=(blocker,))
+            assert sc.registry.counter_value("scene.cache.hits") == 0
         assert not clear.obstructions
         assert blocked.obstructions
 
@@ -101,23 +107,24 @@ class TestStaleness:
         cache = make_cache()
         cache.all_paths(TX, RX)
         assert len(cache) == 1
-        COUNTERS.reset()
-        cache.invalidate()
-        assert len(cache) == 0
-        assert COUNTERS.cache_invalidations == 1
-        cache.all_paths(TX, RX)
-        assert COUNTERS.cache_misses == 1
+        with telemetry.scope("t") as sc:
+            cache.invalidate()
+            assert len(cache) == 0
+            assert sc.registry.counter_value("scene.cache.invalidations") == 1
+            cache.all_paths(TX, RX)
+            assert sc.registry.counter_value("scene.cache.misses") == 1
 
 
 class TestCounters:
     def test_hit_rate(self):
-        COUNTERS.reset()
         cache = make_cache()
-        cache.all_paths(TX, RX)
-        cache.all_paths(TX, RX)
-        cache.all_paths(TX, RX)
-        assert math.isclose(COUNTERS.cache_hit_rate, 2.0 / 3.0)
-        snap = COUNTERS.snapshot()
-        assert snap["cache_hits"] == 2
-        assert snap["cache_misses"] == 1
-        assert snap["tracer_calls"] == 1
+        with telemetry.scope("t") as sc:
+            cache.all_paths(TX, RX)
+            cache.all_paths(TX, RX)
+            cache.all_paths(TX, RX)
+            hits = sc.registry.counter_value("scene.cache.hits")
+            misses = sc.registry.counter_value("scene.cache.misses")
+            assert math.isclose(hits / (hits + misses), 2.0 / 3.0)
+            assert hits == 2
+            assert misses == 1
+            assert sc.registry.counter_value("scene.tracer_calls") == 1

@@ -1,0 +1,109 @@
+"""The deprecated ``COUNTERS`` facade: warns on every access, still works.
+
+The shim stays until out-of-tree callers migrate (docs/performance.md);
+these tests pin both halves of that contract — the DeprecationWarning
+on every touch, and the behavior the warning-free replacement
+(:func:`repro.sim.counters.legacy_perf_snapshot` + ``repro.telemetry``)
+must keep matching.
+"""
+
+import warnings
+
+import pytest
+
+from repro import telemetry
+from repro.sim.counters import COUNTERS, legacy_perf_snapshot
+
+
+class TestDeprecationWarnings:
+    def test_read_warns(self):
+        with telemetry.scope("s"):
+            with pytest.warns(DeprecationWarning, match="repro.telemetry"):
+                COUNTERS.tracer_calls
+
+    def test_write_warns(self):
+        with telemetry.scope("s"):
+            with pytest.warns(DeprecationWarning):
+                COUNTERS.cache_hits = 3
+
+    def test_reset_warns(self):
+        with telemetry.scope("s"):
+            with pytest.warns(DeprecationWarning):
+                COUNTERS.reset()
+
+    def test_snapshot_warns(self):
+        with telemetry.scope("s"):
+            with pytest.warns(DeprecationWarning):
+                COUNTERS.snapshot()
+
+    def test_derived_rates_warn(self):
+        with telemetry.scope("s"):
+            with pytest.warns(DeprecationWarning):
+                COUNTERS.cache_hit_rate
+            with pytest.warns(DeprecationWarning):
+                COUNTERS.mean_kernel_batch
+
+    def test_unknown_attribute_raises_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(AttributeError):
+                COUNTERS.not_a_counter
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+class TestShimBehavior:
+    """The legacy API still acts on the innermost telemetry scope."""
+
+    def test_legacy_names_alias_dotted_metrics(self):
+        with telemetry.scope("s"):
+            COUNTERS.tracer_calls += 2
+            COUNTERS.kernel_batches += 1
+            COUNTERS.kernel_angles += 8
+            assert telemetry.metrics().counter_value("scene.tracer_calls") == 2
+            snap = COUNTERS.snapshot()
+            assert snap["tracer_calls"] == 2
+            assert snap["kernel_batches"] == 1
+            assert COUNTERS.mean_kernel_batch == 8.0
+
+    def test_cache_hit_rate(self):
+        with telemetry.scope("s"):
+            COUNTERS.cache_hits += 3
+            COUNTERS.cache_misses += 1
+            assert COUNTERS.cache_hit_rate == 0.75
+
+    def test_reset_is_scoped(self):
+        with telemetry.scope("outer") as outer:
+            COUNTERS.cache_hits += 5
+            with telemetry.scope("inner"):
+                COUNTERS.reset()
+                COUNTERS.cache_hits += 1
+                assert COUNTERS.cache_hits == 1
+            assert outer.registry.counter_value("scene.cache.hits") == 6
+
+
+class TestLegacySnapshotReader:
+    """``legacy_perf_snapshot`` is the supported, warning-free reader."""
+
+    def test_no_warning(self):
+        with telemetry.scope("s") as sc:
+            telemetry.inc("scene.cache.hits", 3)
+            telemetry.inc("scene.cache.misses", 1)
+            telemetry.inc("kernel.batches", 2)
+            telemetry.inc("kernel.angles", 10)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                snap = legacy_perf_snapshot(sc.registry)
+        assert snap["cache_hits"] == 3
+        assert snap["cache_hit_rate"] == 0.75
+        assert snap["mean_kernel_batch"] == 5.0
+
+    def test_matches_shim_snapshot(self):
+        with telemetry.scope("s") as sc:
+            telemetry.inc("scene.tracer_calls", 4)
+            telemetry.inc("link.sweeps", 2)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                shim = COUNTERS.snapshot()
+            supported = legacy_perf_snapshot(sc.registry)
+        for key, value in shim.items():
+            assert supported[key] == value

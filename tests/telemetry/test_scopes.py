@@ -1,7 +1,10 @@
-"""Scope nesting: isolation on entry, propagation on exit."""
+"""Scope nesting: isolation on entry, propagation on exit.
+
+(The deprecated ``COUNTERS`` facade over these scopes is covered in
+``tests/sim/test_counters_shim.py``.)
+"""
 
 from repro import telemetry
-from repro.sim.counters import COUNTERS
 
 
 class TestIsolation:
@@ -19,15 +22,6 @@ class TestIsolation:
                 telemetry.metrics().reset()
                 telemetry.inc("x", 2)
             assert outer.registry.counter_value("x") == 7
-
-    def test_counters_shim_reset_is_scoped(self):
-        with telemetry.scope("outer") as outer:
-            COUNTERS.cache_hits += 5
-            with telemetry.scope("inner"):
-                COUNTERS.reset()
-                COUNTERS.cache_hits += 1
-                assert COUNTERS.cache_hits == 1
-            assert outer.registry.counter_value("scene.cache.hits") == 6
 
 
 class TestPropagation:
@@ -77,6 +71,17 @@ class TestPropagation:
             assert [s.name for s in outer.tracer.roots] == ["parent-op"]
             assert [s.name for s in outer.tracer.roots[0].children] == ["child-op"]
 
+    def test_series_merge_into_parent(self):
+        with telemetry.scope("outer") as outer:
+            telemetry.sample("link.snr_db", 0.0, 10.0)
+            with telemetry.scope("inner"):
+                telemetry.sample("link.snr_db", 1.0, 20.0)
+            series = outer.registry.get_series("link.snr_db")
+            assert series is not None
+            assert series.count == 2
+            assert series.minimum == 10.0
+            assert series.maximum == 20.0
+
     def test_scope_pops_even_on_exception(self):
         before = telemetry.current_scope()
         try:
@@ -85,22 +90,3 @@ class TestPropagation:
         except RuntimeError:
             pass
         assert telemetry.current_scope() is before
-
-
-class TestShimMapping:
-    def test_legacy_names_alias_dotted_metrics(self):
-        with telemetry.scope("s"):
-            COUNTERS.tracer_calls += 2
-            COUNTERS.kernel_batches += 1
-            COUNTERS.kernel_angles += 8
-            assert telemetry.metrics().counter_value("scene.tracer_calls") == 2
-            snap = COUNTERS.snapshot()
-            assert snap["tracer_calls"] == 2
-            assert snap["kernel_batches"] == 1
-            assert COUNTERS.mean_kernel_batch == 8.0
-
-    def test_cache_hit_rate(self):
-        with telemetry.scope("s"):
-            COUNTERS.cache_hits += 3
-            COUNTERS.cache_misses += 1
-            assert COUNTERS.cache_hit_rate == 0.75

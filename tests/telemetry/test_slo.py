@@ -1,0 +1,214 @@
+"""SLO evaluation: window math, burn rates, split invariance, events.
+
+The headline property: evaluation is a pure function of the sample
+multiset, so a stream split across nested scopes and folded back
+together yields exactly the verdicts of the unsplit stream.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.telemetry import slo
+from repro.telemetry.events import EventKind
+from repro.telemetry.slo import SloSpec, SloWindow, evaluate_slo
+from repro.telemetry.timeseries import TimeSeries
+
+
+def fraction_spec(**overrides):
+    base = dict(
+        name="frac",
+        series="s",
+        objective="fraction test",
+        window_s=20.0,
+        kind="fraction",
+        bad_when="above",
+        threshold=0.5,
+        budget=0.1,
+    )
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+class TestWindowMath:
+    def test_fraction_burn_rate(self):
+        # 10 samples, 2 above threshold -> observed 0.2, burn 2x.
+        points = [(float(i), 1.0 if i in (3, 7) else 0.0) for i in range(10)]
+        result = evaluate_slo(fraction_spec(), points)
+        assert result is not None
+        assert len(result.windows) == 1
+        window = result.windows[0]
+        assert window.samples == 10
+        assert window.observed == pytest.approx(0.2)
+        assert window.burn_rate == pytest.approx(2.0)
+        assert window.violated
+        assert not result.passed
+
+    def test_fraction_within_budget_passes(self):
+        points = [(float(i), 0.0) for i in range(10)]
+        result = evaluate_slo(fraction_spec(), points)
+        assert result is not None
+        assert result.passed
+        assert result.windows[0].burn_rate == 0.0
+
+    def test_quantile_burn_rate(self):
+        points = [(float(i), float(i + 1)) for i in range(100)]
+        spec = fraction_spec(
+            name="q", kind="quantile", q=0.99, limit=50.0, window_s=200.0
+        )
+        result = evaluate_slo(spec, points)
+        assert result is not None
+        window = result.windows[0]
+        assert window.observed == pytest.approx(99.01)
+        assert window.burn_rate == pytest.approx(99.01 / 50.0)
+        assert window.violated
+
+    def test_windows_hop_by_half_window(self):
+        points = [(float(i), 0.0) for i in range(40)]
+        result = evaluate_slo(fraction_spec(window_s=20.0), points)
+        assert result is not None
+        starts = [w.start_s for w in result.windows]
+        assert starts == [0.0, 10.0, 20.0]
+
+    def test_under_min_samples_is_not_evaluated(self):
+        assert evaluate_slo(fraction_spec(min_samples=5), [(0.0, 1.0)] * 3) is None
+
+    def test_episodes_group_consecutive_violations(self):
+        def window(start, violated):
+            return SloWindow(
+                start_s=start,
+                end_s=start + 10.0,
+                samples=5,
+                observed=1.0 if violated else 0.0,
+                burn_rate=2.0 if violated else 0.0,
+                violated=violated,
+            )
+
+        windows = tuple(
+            window(10.0 * i, flag)
+            for i, flag in enumerate([True, True, False, True, False])
+        )
+        result = slo.SloResult(
+            spec=fraction_spec(), samples=25, windows=windows, passed=False
+        )
+        episodes = result.episodes
+        assert len(episodes) == 2
+        assert episodes[0][0].start_s == 0.0
+        assert episodes[0][1].start_s == 10.0
+        assert episodes[1][0].start_s == 30.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            fraction_spec(kind="nope")
+        with pytest.raises(ValueError):
+            fraction_spec(budget=0.0)
+        with pytest.raises(ValueError):
+            fraction_spec(window_s=-1.0)
+        with pytest.raises(ValueError):
+            fraction_spec(kind="quantile", limit=0.0)
+
+
+class TestSplitInvariance:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=300,
+        ),
+        st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+        st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_fraction_verdicts_invariant_under_stream_splitting(
+        self, points, window_s, data
+    ):
+        cut = data.draw(st.integers(min_value=0, max_value=len(points)))
+        spec = fraction_spec(window_s=window_s, threshold=0.0, budget=0.5)
+        full = TimeSeries("s")
+        for t, v in points:
+            full.sample(t, v)
+        left, right = TimeSeries("s"), TimeSeries("s")
+        for t, v in points[:cut]:
+            left.sample(t, v)
+        for t, v in points[cut:]:
+            right.sample(t, v)
+        merged = left.merge(right)
+        self._assert_same_verdicts(
+            evaluate_slo(spec, full.points()), evaluate_slo(spec, merged.points())
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=0.1, max_value=40.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=200,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_verdicts_invariant_under_stream_splitting(self, points, data):
+        cut = data.draw(st.integers(min_value=0, max_value=len(points)))
+        spec = fraction_spec(kind="quantile", q=0.95, limit=20.0, window_s=25.0)
+        full = TimeSeries("s")
+        for t, v in points:
+            full.sample(t, v)
+        left, right = TimeSeries("s"), TimeSeries("s")
+        for t, v in points[:cut]:
+            left.sample(t, v)
+        for t, v in points[cut:]:
+            right.sample(t, v)
+        merged = left.merge(right)
+        self._assert_same_verdicts(
+            evaluate_slo(spec, full.points()), evaluate_slo(spec, merged.points())
+        )
+
+    @staticmethod
+    def _assert_same_verdicts(a, b):
+        assert (a is None) == (b is None)
+        if a is None:
+            return
+        assert a.passed == b.passed
+        assert len(a.windows) == len(b.windows)
+        for wa, wb in zip(a.windows, b.windows):
+            assert wa.start_s == wb.start_s
+            assert wa.samples == wb.samples
+            assert wa.observed == pytest.approx(wb.observed)
+            assert wa.violated == wb.violated
+
+
+class TestScopeEvaluation:
+    def test_evaluate_scope_emits_violation_episode_events(self):
+        with telemetry.scope("session") as sc:
+            for i in range(20):
+                telemetry.sample("control.up", float(i), 0.0)  # dark throughout
+            results = slo.evaluate_scope(sc)
+            assert [r.spec.name for r in results] == ["control-availability"]
+            assert not results[0].passed
+            violations = [
+                e for e in sc.events if e.kind == EventKind.SLO_VIOLATION
+            ]
+            assert len(violations) == 1
+            assert violations[0].fields["slo"] == "control-availability"
+            assert violations[0].fields["burn_rate"] > 1.0
+
+    def test_evaluate_scope_skips_absent_series(self):
+        with telemetry.scope("session") as sc:
+            assert slo.evaluate_scope(sc) == []
+
+    def test_default_slos_cover_the_qoe_surface(self):
+        specs = slo.default_slos()
+        assert len(specs) >= 5
+        assert {s.series for s in specs} >= {
+            "link.mode_code",
+            "link.snr_db",
+            "rate.mbps",
+            "link.handoff_gap_ms",
+            "control.up",
+        }
