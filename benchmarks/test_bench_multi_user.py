@@ -1,0 +1,14 @@
+"""Benchmark: the multi-headset serving sweep."""
+
+from conftest import report_and_assert
+
+from repro.experiments import run_multi_user
+
+
+def test_bench_multi_user(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_multi_user(seed=2016, user_counts=(1, 2, 4), duration_s=1.0),
+        rounds=1,
+        iterations=1,
+    )
+    report_and_assert(report)

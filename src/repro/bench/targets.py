@@ -23,6 +23,7 @@ from repro.experiments import (
     run_fig7,
     run_fig8,
     run_fig9,
+    run_multi_user,
 )
 
 
@@ -87,6 +88,13 @@ BENCH_TARGETS: Tuple[BenchTarget, ...] = (
         description="BLE fault injection and recovery sweep",
         fn=run_fault_recovery,
         kwargs={"seed": 2016},
+    ),
+    BenchTarget(
+        name="multi-user",
+        description="N-headset serving sweep (contention, shared airtime)",
+        fn=run_multi_user,
+        kwargs={"seed": 2016},
+        quick_kwargs={"user_counts": (1, 2, 4), "duration_s": 1.0},
     ),
     BenchTarget(
         name="e2e-session",

@@ -20,6 +20,7 @@ from repro.experiments.fig8_alignment import run_fig8
 from repro.experiments.fig9_snr_cdf import run_fig9
 from repro.experiments.harness import ExperimentReport, ShapeCheck
 from repro.experiments.latency_budget import run_latency_budget
+from repro.experiments.multi_user import run_multi_user
 from repro.experiments.power_budget import run_power_budget
 from repro.experiments.prediction_horizon import run_prediction_horizon
 from repro.experiments.rate_vs_distance import run_rate_vs_distance
@@ -53,6 +54,7 @@ ALL_EXPERIMENTS = {
     "ext-prediction": run_prediction_horizon,
     "ext-search-airtime": run_search_airtime,
     "ext-fault-recovery": run_fault_recovery,
+    "ext-multi-user": run_multi_user,
     "ablation-search": run_ablation_search,
     "comparison": run_comparison,
 }
@@ -69,6 +71,7 @@ __all__ = [
     "run_latency_budget",
     "run_search_airtime",
     "run_fault_recovery",
+    "run_multi_user",
     "run_ablation_search",
     "run_comparison",
     "run_e2e_session",

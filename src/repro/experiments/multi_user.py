@@ -1,0 +1,219 @@
+"""Extension experiment: one AP serving N headsets at once.
+
+The paper serves a single headset, but its blockage study (§3) already
+stars the multi-user failure mode: "another person walking between the
+AP and the headset".  This experiment puts N players in the standard
+office and sweeps N = 1..6 through :class:`repro.core.multiuser
+.MultiUserSystem` — reflector arbitration, one shared TDD window, and
+every player's body occluding every other player's links.
+
+Reported per (N, user): SNR and adapted-rate CDF percentiles plus
+delivered goodput (adapted rate × frames actually delivered in the
+shared window).  Per N: contention count, frames lost, and the loss
+fraction — the curve that says how many headsets one AP carries.
+
+A dedicated deterministic scene (two blocked users, a single
+reflector) closes the loop on arbitration: exactly one user wins the
+reflector, the loser falls back to Opt-NLOS, and the arbiter's typed
+``contention`` event lands in the report's event log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.multiuser import MultiUserSystem
+from repro.experiments.harness import ExperimentReport, scoped_run
+from repro.experiments.testbed import Testbed, default_testbed
+from repro.geometry.bodies import person_blocking_path
+from repro.geometry.mobility import PoseSample, VrPlayerMotion
+from repro.geometry.vectors import Vec2
+from repro.utils.rng import RngLike, child_rng, make_rng
+from repro.vr.traffic import DEFAULT_TRAFFIC
+
+#: Joint-decision cadence: one shared TDD frame window per tick.
+_DECISION_RATE_HZ = 90.0
+
+#: Idle gap inserted between cohorts on the experiment's global clock,
+#: so each cohort's samples form their own SLO windows instead of
+#: blending into the previous cohort's tail.
+_COHORT_GAP_S = 1.0
+
+#: Clear-LOS spots for the two-blocked-users contention scene.
+_CONTENTION_SPOTS = (Vec2(3.0, 4.0), Vec2(4.0, 3.0))
+
+
+def _run_cohort(
+    bed: Testbed,
+    num_users: int,
+    duration_s: float,
+    t0_s: float,
+    rng: np.random.Generator,
+) -> Dict[str, object]:
+    """One N-player session on the shared testbed.
+
+    Motion traces use a per-cohort local clock (each trace spans
+    ``[0, duration_s)``); telemetry uses the global experiment clock
+    ``t0_s + local`` so the ``user<i>.*`` series keep accumulating
+    monotonically across cohorts.
+    """
+    dt = 1.0 / _DECISION_RATE_HZ
+    ticks = max(1, int(round(duration_s * _DECISION_RATE_HZ)))
+    traces = [
+        VrPlayerMotion(bed.room, seed=child_rng(rng, user)).generate(
+            duration_s, sample_rate_hz=45.0
+        )
+        for user in range(num_users)
+    ]
+    multi = MultiUserSystem(bed.system, num_users=num_users)
+    snrs: List[List[float]] = [[] for _ in range(num_users)]
+    rates: List[List[float]] = [[] for _ in range(num_users)]
+    delivered_rate_sum = [0.0] * num_users
+    contentions = 0
+    frames_lost = 0
+    for k in range(ticks):
+        local_t = k * dt
+        poses = [trace.pose_at(local_t) for trace in traces]
+        tick = multi.step(t0_s + local_t, poses)
+        adapted = [adapter.current_rate_mbps for adapter in multi.adapters]
+        lost = set(tick.window.lost_users)
+        for user, decision in enumerate(tick.decisions):
+            snrs[user].append(decision.snr_db)
+            rates[user].append(adapted[user])
+            if user not in lost:
+                delivered_rate_sum[user] += adapted[user]
+        contentions += sum(1 for d in tick.decisions if d.contended)
+        frames_lost += tick.window.frames_lost
+    return {
+        "ticks": ticks,
+        "snrs": snrs,
+        "rates": rates,
+        "goodput": [total / ticks for total in delivered_rate_sum],
+        "contentions": contentions,
+        "frames_lost": frames_lost,
+    }
+
+
+def _contention_scene(
+    report: ExperimentReport, seed: np.random.Generator, t0_s: float
+) -> Dict[str, int]:
+    """Two blocked users, one reflector: the arbitration unit scene.
+
+    The random sweep may or may not collide two blocked users on one
+    reflector, so this scene pins the acceptance case down
+    deterministically: both users lose the direct path at once, both
+    bid for the only reflector, one wins, one gets a ``contention``
+    event and Opt-NLOS.
+    """
+    bed = default_testbed(seed=seed, num_reflectors=1, shadowing_sigma_db=0.0)
+    multi = MultiUserSystem(bed.system, num_users=2)
+    poses = [PoseSample(0.0, spot, -135.0) for spot in _CONTENTION_SPOTS]
+    dt = 1.0 / _DECISION_RATE_HZ
+    multi.step(t0_s, poses)  # clean acquisition tick: both users on LOS
+    blockers = []
+    for pose in poses:
+        person = person_blocking_path(bed.ap.position, pose.position, 0.5)
+        blockers.extend(person.occluders())
+    tick = multi.step(t0_s + dt, poses, extra_occluders=blockers)
+    winners = [d for d in tick.decisions if d.mode == "reflector"]
+    losers = [d for d in tick.decisions if d.contended]
+    if winners and losers:
+        report.note(
+            f"contention scene: user {winners[0].user} won {winners[0].via} "
+            f"at {winners[0].snr_db:.1f} dB; user {losers[0].user} fell back "
+            f"to {losers[0].mode} at {losers[0].snr_db:.1f} dB"
+        )
+    else:
+        report.note("contention scene: no contention observed")
+    return {"contentions": len(losers), "winners": len(winners)}
+
+
+@scoped_run("ext-multi-user")
+def run_multi_user(
+    seed: RngLike = None,
+    user_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    duration_s: float = 2.0,
+    testbed: Optional[Testbed] = None,
+) -> ExperimentReport:
+    """Per-user QoE and shared-channel loss as headsets are added."""
+    if not user_counts or any(n < 1 for n in user_counts):
+        raise ValueError("user_counts must be non-empty positive ints")
+    if duration_s <= 0.0:
+        raise ValueError("duration_s must be positive")
+    rng = make_rng(seed)
+    bed = testbed if testbed is not None else default_testbed(
+        seed=child_rng(rng, 0), shadowing_sigma_db=0.0
+    )
+    report = ExperimentReport(
+        experiment_id="ext-multi-user",
+        title="Multi-headset serving: contention, shared airtime, mutual blockage",
+    )
+    required = DEFAULT_TRAFFIC.required_rate_mbps
+    loss_by_n: Dict[int, float] = {}
+    goodput_by_n: Dict[int, float] = {}
+    t0 = 0.0
+    for index, num_users in enumerate(user_counts):
+        cohort = _run_cohort(
+            bed, num_users, duration_s, t0, child_rng(rng, 1000 + index)
+        )
+        t0 += duration_s + _COHORT_GAP_S
+        ticks = int(cohort["ticks"])
+        loss_fraction = cohort["frames_lost"] / (ticks * num_users)
+        loss_by_n[num_users] = loss_fraction
+        goodput_by_n[num_users] = float(np.mean(cohort["goodput"]))
+        for user in range(num_users):
+            snr = np.asarray(cohort["snrs"][user], dtype=float)
+            rate = np.asarray(cohort["rates"][user], dtype=float)
+            report.add_row(
+                num_users=num_users,
+                user=user,
+                snr_p10_db=float(np.percentile(snr, 10)),
+                snr_p50_db=float(np.percentile(snr, 50)),
+                snr_p90_db=float(np.percentile(snr, 90)),
+                rate_p10_mbps=float(np.percentile(rate, 10)),
+                rate_p50_mbps=float(np.percentile(rate, 50)),
+                rate_p90_mbps=float(np.percentile(rate, 90)),
+                goodput_mbps=round(float(cohort["goodput"][user]), 1),
+                contentions=cohort["contentions"],
+                frames_lost=cohort["frames_lost"],
+                frame_loss_fraction=round(loss_fraction, 4),
+            )
+        report.note(
+            f"N={num_users}: {cohort['contentions']} contentions, "
+            f"{cohort['frames_lost']}/{ticks * num_users} frames lost "
+            f"({100.0 * loss_fraction:.1f}%), mean goodput "
+            f"{goodput_by_n[num_users]:.0f} Mbps over {ticks} windows"
+        )
+
+    n_lo, n_hi = min(user_counts), max(user_counts)
+    if n_lo != n_hi:
+        report.check(
+            "sharing one TDD window loses more frames as headsets are added",
+            loss_by_n[n_hi] > loss_by_n[n_lo],
+            f"loss fraction {100.0 * loss_by_n[n_lo]:.1f}% at N={n_lo} vs "
+            f"{100.0 * loss_by_n[n_hi]:.1f}% at N={n_hi}",
+        )
+        report.check(
+            "per-user goodput degrades as headsets are added",
+            goodput_by_n[n_hi] < goodput_by_n[n_lo],
+            f"mean goodput {goodput_by_n[n_lo]:.0f} Mbps at N={n_lo} vs "
+            f"{goodput_by_n[n_hi]:.0f} Mbps at N={n_hi}",
+        )
+    if 1 in loss_by_n:
+        report.check(
+            "a single headset sustains the VR rate with no shared-window loss",
+            loss_by_n[1] == 0.0 and goodput_by_n[1] >= required,
+            f"N=1: loss {100.0 * loss_by_n[1]:.1f}%, goodput "
+            f"{goodput_by_n[1]:.0f} Mbps vs required {required:.0f} Mbps",
+        )
+    scene = _contention_scene(report, child_rng(rng, 9000), t0)
+    report.check(
+        "two blocked users and one reflector force exactly one arbitration "
+        "(one winner, one typed contention event)",
+        scene["winners"] == 1 and scene["contentions"] == 1,
+        f"{scene['winners']} reflector winner(s), "
+        f"{scene['contentions']} contention loser(s)",
+    )
+    return report

@@ -50,9 +50,14 @@ class MotionTrace:
     def __post_init__(self) -> None:
         if not self.samples:
             raise ValueError("a motion trace needs at least one sample")
-        times = [s.time_s for s in self.samples]
-        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+        times = np.asarray([s.time_s for s in self.samples], dtype=float)
+        if np.any(times[1:] <= times[:-1]):
             raise ValueError("trace samples must be strictly increasing in time")
+        # pose_at() runs once per tick of every e2e/mobility experiment;
+        # cache the sample times so each lookup is one binary search
+        # instead of an O(n) list rebuild.  (object.__setattr__ because
+        # the dataclass is frozen.)
+        object.__setattr__(self, "_times", times)
 
     @property
     def duration_s(self) -> float:
@@ -71,13 +76,20 @@ class MotionTrace:
             return samples[0]
         if t >= samples[-1].time_s:
             return samples[-1]
-        times = [s.time_s for s in samples]
-        idx = int(np.searchsorted(times, t, side="right")) - 1
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
         s0, s1 = samples[idx], samples[idx + 1]
         frac = (t - s0.time_s) / (s1.time_s - s0.time_s)
         position = s0.position + (s1.position - s0.position) * frac
+        # Interpolate along the shorter arc, then re-wrap: a segment
+        # straddling +-180 deg would otherwise return a yaw outside the
+        # canonical range and downstream consumers would silently
+        # depend on wrapping it themselves.
         dyaw = wrap_angle_deg(s1.yaw_deg - s0.yaw_deg)
-        return PoseSample(time_s=t, position=position, yaw_deg=s0.yaw_deg + dyaw * frac)
+        return PoseSample(
+            time_s=t,
+            position=position,
+            yaw_deg=wrap_angle_deg(s0.yaw_deg + dyaw * frac),
+        )
 
     def max_yaw_rate_deg_s(self) -> float:
         """Peak head-rotation rate over the trace."""

@@ -34,6 +34,10 @@ class RateAdapter:
     #: Cadence of the ``rate.mbps`` QoE series sampled by
     #: :meth:`observe` whenever the caller supplies a clock.
     sample_period_s: float = 0.005
+    #: Prefix for the QoE series names, so several adapters — one per
+    #: headset — can coexist in one telemetry scope: ``"user0."``
+    #: yields ``user0.rate.mbps`` / ``user0.rate.snr_db``.
+    series_prefix: str = ""
     _current: Optional[Mcs] = field(default=None, init=False)
     _up_count: int = field(default=0, init=False)
 
@@ -55,36 +59,45 @@ class RateAdapter:
 
         ``t_s`` (the caller's clock) stamps the ``rate_change`` event
         emitted whenever the MCS actually moves.
+
+        Hysteresis policy: a target *below* the current rate (or an
+        outage) is adopted immediately — never linger above what the
+        channel supports.  A target above the current rate, **or an
+        equal-rate MCS on a different PHY**, is adopted only after
+        ``up_dwell`` consecutive observations: both moves cost a
+        retrain, so both get the same dwell, and the adapter converges
+        to the policy's preferred MCS instead of sticking to a stale
+        equal-rate choice forever.  An equal-rate switch does not emit
+        a ``rate_change`` event (the QoE-visible rate is unchanged).
         """
         previous = self._current
         if t_s is not None and math.isfinite(snr_db):
             telemetry.sample(
-                "rate.snr_db", t_s, snr_db, min_interval_s=self.sample_period_s
+                self.series_prefix + "rate.snr_db",
+                t_s,
+                snr_db,
+                min_interval_s=self.sample_period_s,
             )
         target = best_mcs_for_snr(snr_db, phys=self.phys, margin_db=self.margin_db)
         if target is None:
             # Outage: drop everything immediately.
             self._current = None
             self._up_count = 0
-            self._emit_change(previous, snr_db, t_s)
-            return None
-        if self._current is None or target.data_rate_mbps < self._current.data_rate_mbps:
-            # Never linger above what the channel supports.
-            if self._current is None:
-                self._current = target
-                self._up_count = 0
-            elif target.data_rate_mbps < self._current.data_rate_mbps:
-                self._current = target
-                self._up_count = 0
-            self._emit_change(previous, snr_db, t_s)
-            return self._current
-        if target.data_rate_mbps > self._current.data_rate_mbps:
+        elif (
+            self._current is None
+            or target.data_rate_mbps < self._current.data_rate_mbps
+        ):
+            self._current = target
+            self._up_count = 0
+        elif target == self._current:
+            self._up_count = 0
+        else:
+            # Step up — or sidestep to an equal-rate MCS on another PHY
+            # — after the dwell.
             self._up_count += 1
             if self._up_count >= self.up_dwell:
                 self._current = target
                 self._up_count = 0
-        else:
-            self._up_count = 0
         self._emit_change(previous, snr_db, t_s)
         return self._current
 
@@ -96,7 +109,7 @@ class RateAdapter:
         if t_s is not None:
             # The adapted-rate QoE series; 0 means nothing decodes.
             telemetry.sample(
-                "rate.mbps",
+                self.series_prefix + "rate.mbps",
                 t_s,
                 0.0 if after is None else after,
                 min_interval_s=self.sample_period_s,

@@ -53,6 +53,11 @@ class EventKind(str, enum.Enum):
     #: fields carry the SLO name, the episode's window bounds, and the
     #: worst burn rate.
     SLO_VIOLATION = "slo_violation"
+    #: Two blocked headsets wanted the same reflector; the arbiter gave
+    #: it to one and the loser fell back to the best environmental
+    #: reflection (Opt-NLOS).  Fields carry the losing user, the
+    #: contested reflector, the winning user, and the fallback SNR.
+    CONTENTION = "contention"
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ Metric names are dotted paths; the convention is
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.telemetry.instruments import (
     DEFAULT_MAX_SAMPLES,
@@ -75,6 +75,15 @@ class MetricsRegistry:
     def get_series(self, name: str) -> Optional[TimeSeries]:
         """The named series, or ``None`` if nothing sampled it."""
         return self._series.get(name)
+
+    def series_names(self) -> List[str]:
+        """Sorted names of every recorded time series.
+
+        Lets consumers discover dynamically named series — e.g. the
+        SLO engine finding every ``user<i>.rate.mbps`` a multi-user
+        run sampled.
+        """
+        return sorted(self._series)
 
     # -- recording conveniences ------------------------------------------
 

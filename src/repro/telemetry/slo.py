@@ -27,6 +27,7 @@ stream — pinned by a hypothesis test in ``tests/telemetry/test_slo.py``.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,8 +38,17 @@ from repro.telemetry.scopes import TelemetryScope, emit as emit_event
 from repro.telemetry.timeseries import TimeSeries
 
 #: Serving-mode encoding used by the ``link.mode_code`` series
-#: (:meth:`repro.core.controller.MoVRSystem.decide` samples it).
-SERVING_MODE_CODES: Dict[str, float] = {"los": 0.0, "reflector": 1.0, "outage": 2.0}
+#: (:meth:`repro.core.controller.MoVRSystem.decide` samples it) and
+#: the per-user ``user<i>.mode_code`` series of the multi-user core.
+#: ``nlos`` — a contention loser riding the best environmental
+#: reflection — is degraded-but-connected, so it sits between
+#: ``reflector`` and the outage threshold.
+SERVING_MODE_CODES: Dict[str, float] = {
+    "los": 0.0,
+    "reflector": 1.0,
+    "nlos": 1.4,
+    "outage": 2.0,
+}
 
 #: ``link.mode_code`` samples strictly above this are outages.
 OUTAGE_CODE_THRESHOLD = 1.5
@@ -288,6 +298,30 @@ def default_slos() -> Tuple[SloSpec, ...]:
             limit=20.0,
             min_samples=1,
         ),
+        # Multi-user aggregates (sampled by repro.core.multiuser; the
+        # specs are inert in single-user runs, whose scopes never
+        # record these series).  The worst-user variant is the hard
+        # one: every headset must stay playable, not just the average.
+        SloSpec(
+            name="worst-user-rate",
+            series="users.worst.rate_mbps",
+            objective=f"worst user below the required VR rate ({required:.0f} Mbps) < 10% per 10 s window",
+            window_s=10.0,
+            kind="fraction",
+            bad_when="below",
+            threshold=required,
+            budget=0.10,
+        ),
+        SloSpec(
+            name="mean-user-rate",
+            series="users.mean.rate_mbps",
+            objective=f"mean user rate below the required VR rate ({required:.0f} Mbps) < 5% per 10 s window",
+            window_s=10.0,
+            kind="fraction",
+            bad_when="below",
+            threshold=required,
+            budget=0.05,
+        ),
         SloSpec(
             name="control-availability",
             series="control.up",
@@ -301,6 +335,43 @@ def default_slos() -> Tuple[SloSpec, ...]:
     )
 
 
+#: Pattern of the per-headset adapted-rate series a multi-user run
+#: records (one :class:`repro.rate.adaptation.RateAdapter` per user
+#: with ``series_prefix="user<i>."``).
+_PER_USER_RATE_SERIES = re.compile(r"^user(\d+)\.rate\.mbps$")
+
+
+def per_user_slos(scope: TelemetryScope) -> Tuple[SloSpec, ...]:
+    """One required-rate objective per discovered ``user<i>.rate.mbps``.
+
+    Multi-user runs create their QoE series dynamically (the user
+    count is a parameter), so the catalog cannot list them statically;
+    this discovers whatever the scope actually recorded.
+    """
+    from repro.vr.traffic import DEFAULT_TRAFFIC
+
+    required = DEFAULT_TRAFFIC.required_rate_mbps
+    specs = []
+    for name in scope.registry.series_names():
+        match = _PER_USER_RATE_SERIES.match(name)
+        if match is None:
+            continue
+        user = int(match.group(1))
+        specs.append(
+            SloSpec(
+                name=f"user{user}-time-below-required-rate",
+                series=name,
+                objective=f"user {user} below the required VR rate ({required:.0f} Mbps) < 5% per 10 s window",
+                window_s=10.0,
+                kind="fraction",
+                bad_when="below",
+                threshold=required,
+                budget=0.05,
+            )
+        )
+    return tuple(specs)
+
+
 def evaluate_scope(
     scope: TelemetryScope,
     specs: Optional[Sequence[SloSpec]] = None,
@@ -308,12 +379,17 @@ def evaluate_scope(
 ) -> List[SloResult]:
     """Evaluate every spec whose series the scope actually recorded.
 
+    With ``specs=None`` the stock catalog applies, extended with one
+    per-user required-rate objective for every ``user<i>.rate.mbps``
+    series the scope recorded (see :func:`per_user_slos`).
+
     With ``emit=True`` (the default), each violation episode appends
     one ``slo_violation`` event to the *active* telemetry scope —
     callers evaluate before the measured scope exits, so the events
     land in the same log as the session's handoffs and outages.
     """
-    specs = default_slos() if specs is None else specs
+    if specs is None:
+        specs = tuple(default_slos()) + per_user_slos(scope)
     results: List[SloResult] = []
     for spec in specs:
         series = scope.registry.get_series(spec.series)
@@ -352,4 +428,5 @@ __all__ = [
     "evaluate_slo",
     "evaluate_scope",
     "default_slos",
+    "per_user_slos",
 ]

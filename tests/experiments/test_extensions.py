@@ -138,6 +138,7 @@ class TestRegistry:
             "ext-prediction",
             "ext-search-airtime",
             "ext-fault-recovery",
+            "ext-multi-user",
             "ext-two-players",
             "ext-rate-distance",
             "ext-latency",

@@ -1,0 +1,67 @@
+"""Integration tests for the multi-user serving experiment."""
+
+import pytest
+
+from repro.experiments import run_multi_user
+
+#: Full N sweep at a reduced duration: every cohort size the default
+#: run exercises, cheap enough to run twice for the determinism check.
+_KWARGS = {"seed": 11, "user_counts": (1, 2, 3, 4, 5, 6), "duration_s": 0.5}
+
+
+def assert_all_checks_pass(report):
+    failed = report.failed_checks
+    assert not failed, "failed shape checks:\n" + "\n".join(str(c) for c in failed)
+
+
+class TestMultiUser:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_multi_user(**_KWARGS)
+
+    def test_all_shape_checks_pass(self, report):
+        assert_all_checks_pass(report)
+
+    def test_one_row_per_cohort_user(self, report):
+        pairs = [(row["num_users"], row["user"]) for row in report.rows]
+        expected = [
+            (n, user) for n in _KWARGS["user_counts"] for user in range(n)
+        ]
+        assert pairs == expected
+
+    def test_loss_fraction_zero_alone_high_at_six(self, report):
+        by_n = {row["num_users"]: row["frame_loss_fraction"] for row in report.rows}
+        assert by_n[1] == 0.0
+        assert by_n[6] > by_n[1]
+
+    def test_contention_scene_event_logged(self, report):
+        assert any(e["kind"] == "contention" for e in report.events)
+
+    def test_per_user_slos_evaluated(self, report):
+        names = {s["name"] for s in report.slos}
+        for user in range(6):
+            assert f"user{user}-time-below-required-rate" in names
+        assert "worst-user-rate" in names
+        assert "mean-user-rate" in names
+
+    def test_same_seed_reproduces_the_report(self, report):
+        """Same seed, same report — rows, notes, checks, events, SLOs.
+
+        ``perf``/``spans``/``metrics`` carry wall-clock timings and are
+        legitimately run-dependent; everything semantic must be
+        bit-identical.
+        """
+        again = run_multi_user(**_KWARGS)
+        assert again.rows == report.rows
+        assert again.notes == report.notes
+        assert again.checks == report.checks
+        assert again.events == report.events
+        assert again.slos == report.slos
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_multi_user(seed=1, user_counts=())
+        with pytest.raises(ValueError):
+            run_multi_user(seed=1, user_counts=(0,))
+        with pytest.raises(ValueError):
+            run_multi_user(seed=1, duration_s=0.0)

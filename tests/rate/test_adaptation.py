@@ -4,6 +4,7 @@ import pytest
 
 from repro import telemetry
 from repro.rate.adaptation import RateAdapter, outage_fraction
+from repro.rate.mcs import Mcs, PhyType, mcs_by_index
 
 
 class TestRateAdapter:
@@ -73,6 +74,77 @@ class TestRateAdapter:
             RateAdapter(up_dwell=0)
         with pytest.raises(ValueError):
             RateAdapter(margin_db=-1.0)
+
+
+class TestEqualRateSidestep:
+    """An equal-rate MCS on a different PHY is adopted after the dwell.
+
+    The standard table never duplicates a rate, so the conflict is set
+    up with a synthetic current MCS mirroring SC MCS 12's 4620 Mbps.
+    Regression for the dead duplicated branch in ``observe``: the
+    pre-fix code reset the dwell counter on equal-rate targets and kept
+    the stale MCS forever.
+    """
+
+    #: An SNR whose best table entry (2 dB margin applied) is SC MCS 12:
+    #: effective 13.5 dB clears its 13 dB threshold but not OFDM MCS
+    #: 22's 15 dB.
+    SNR_DB = 15.5
+
+    def _adapter_on_synthetic_twin(self, up_dwell=3):
+        adapter = RateAdapter(up_dwell=up_dwell)
+        adapter._current = Mcs(99, PhyType.OFDM, "16-QAM", "3/4", 4620.0, -53.0)
+        return adapter
+
+    def test_equal_rate_phy_adopted_after_dwell(self):
+        adapter = self._adapter_on_synthetic_twin(up_dwell=3)
+        adapter.observe(self.SNR_DB)
+        adapter.observe(self.SNR_DB)
+        assert adapter.current_mcs.index == 99  # dwell not yet served
+        adapter.observe(self.SNR_DB)
+        assert adapter.current_mcs == mcs_by_index(12)
+
+    def test_equal_rate_switch_keeps_hysteresis(self):
+        adapter = self._adapter_on_synthetic_twin(up_dwell=4)
+        for _ in range(3):
+            adapter.observe(self.SNR_DB)
+        assert adapter.current_mcs.index == 99
+
+    def test_equal_rate_switch_emits_no_rate_change(self):
+        adapter = self._adapter_on_synthetic_twin(up_dwell=1)
+        with telemetry.scope("t") as sc:
+            adapter.observe(self.SNR_DB, t_s=0.0)
+        assert adapter.current_mcs == mcs_by_index(12)
+        assert not [
+            e for e in sc.events if e.kind is telemetry.EventKind.RATE_CHANGE
+        ]
+
+    def test_same_mcs_resets_dwell(self):
+        # Observing the currently-held MCS must keep resetting the
+        # counter (the collapsed conditional's final branch).
+        adapter = RateAdapter(up_dwell=2)
+        adapter.observe(self.SNR_DB)
+        assert adapter.current_mcs == mcs_by_index(12)
+        adapter.observe(30.0)  # 1 toward the dwell
+        adapter.observe(self.SNR_DB)  # back to the held MCS: reset
+        adapter.observe(30.0)  # 1 again, not 2
+        assert adapter.current_mcs == mcs_by_index(12)
+
+
+class TestSeriesPrefix:
+    def test_prefixed_series_names(self):
+        adapter = RateAdapter(series_prefix="user3.")
+        with telemetry.scope("t") as sc:
+            adapter.observe(25.0, t_s=0.0)
+        assert sc.registry.get_series("user3.rate.mbps") is not None
+        assert sc.registry.get_series("user3.rate.snr_db") is not None
+        assert sc.registry.get_series("rate.mbps") is None
+
+    def test_default_prefix_unchanged(self):
+        adapter = RateAdapter()
+        with telemetry.scope("t") as sc:
+            adapter.observe(25.0, t_s=0.0)
+        assert sc.registry.get_series("rate.mbps") is not None
 
 
 class TestOutageFraction:
